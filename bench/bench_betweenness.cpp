@@ -1,0 +1,102 @@
+// E16 — substrate performance: the weighted Brandes sweep and the Eq. 2
+// rate estimation. II-B claims the estimation "can be done efficiently in
+// time O(n^2)" (per source O(n + m), sparse graphs); the series below shows
+// the measured scaling.
+
+#include "bench_common.h"
+#include "dist/zipf.h"
+#include "graph/betweenness.h"
+#include "pcn/rates.h"
+#include "util/timer.h"
+
+namespace lcg {
+namespace {
+
+void print_scaling_table() {
+  bench::print_header(
+      "E16 / estimation cost",
+      "Measured wall time for the full lambda_e estimation (Eq. 2: Zipf "
+      "matrix + weighted Brandes) vs host size; time ratios near 4x per "
+      "size doubling confirm the ~O(n^2) sparse-graph claim.");
+
+  table t({"n", "edges", "zipf matrix ms", "brandes ms", "total ms",
+           "ratio vs prev"});
+  double prev_total = 0.0;
+  for (const std::size_t n : {50u, 100u, 200u, 400u, 800u}) {
+    rng gen(n);
+    const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+    stopwatch sw_matrix;
+    const dist::zipf_transaction_distribution zipf(1.0);
+    dist::demand_model demand(g, zipf, static_cast<double>(n));
+    const double matrix_ms = sw_matrix.elapsed_ms();
+    stopwatch sw_brandes;
+    const pcn::rate_result rates = pcn::edge_transaction_rates(g, demand);
+    const double brandes_ms = sw_brandes.elapsed_ms();
+    benchmark::DoNotOptimize(rates.edge_rate.data());
+    const double total = matrix_ms + brandes_ms;
+    t.add_row({static_cast<long long>(n),
+               static_cast<long long>(g.edge_count()), matrix_ms, brandes_ms,
+               total, prev_total > 0.0 ? total / prev_total : 0.0});
+    prev_total = total;
+  }
+  t.print(std::cout);
+}
+
+void bm_weighted_betweenness(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(n);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+  const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::weighted_betweenness(g, w));
+  }
+}
+BENCHMARK(bm_weighted_betweenness)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_node_betweenness_of(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(n + 1);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+  const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::node_betweenness_of(g, 0, w));
+  }
+}
+BENCHMARK(bm_node_betweenness_of)->Arg(50)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+void bm_zipf_matrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(n + 2);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::transaction_probability_matrix(g, 1.0));
+  }
+}
+BENCHMARK(bm_zipf_matrix)->Arg(50)->Arg(200)->Arg(800)->Unit(
+    benchmark::kMillisecond);
+
+void bm_capacity_reduced_rates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(n + 3);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen, /*capacity=*/2.0);
+  const dist::zipf_transaction_distribution zipf(1.0);
+  dist::demand_model demand(g, zipf, static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pcn::edge_transaction_rates(g, demand, /*tx_size=*/1.0));
+  }
+}
+BENCHMARK(bm_capacity_reduced_rates)->Arg(50)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E17 — extended channel cost models (II-C note on Guasoni et al. [17];
+// future-work item 2). How does replacing the linear opportunity cost with
+// interest-rate lifetime discounting change the optimal joining strategy?
+
+#include "bench_common.h"
+#include "core/brute_force.h"
+#include "core/cost_model.h"
+
+namespace lcg {
+namespace {
+
+void print_cost_model_study() {
+  bench::print_header(
+      "E17 / cost-model ablation",
+      "Brute-force optimal strategy (utility U) under the linear II-C cost "
+      "and under [17]-style interest discounting, across lifetimes T at "
+      "rate 5% per period. Longer lifetimes make locked capital dearer, "
+      "eroding the optimum's utility (and, once the discount exceeds the "
+      "marginal routing revenue, shrinking the strategy itself); the "
+      "optimisation machinery is unchanged — the paper's II-C claim.");
+
+  core::model_params params = bench::default_params();
+  params.fee_avg = 8.0;  // revenue-rich regime: channels can pay for locks
+  params.tx_size = 1.0;  // locks below 1 cannot route: sizing matters
+  bench::join_instance inst = bench::make_join_instance(
+      71, 10, params, 1.0, 20.0, /*barabasi=*/false);
+  const std::vector<double> levels{1.0, 2.0, 4.0};
+  const double budget = 16.0;
+
+  table t({"cost model", "channels", "locked", "E_rev", "fees+cost",
+           "optimal U"});
+  const auto optimise = [&](const std::string& name) {
+    const core::brute_force_result r = core::brute_force_lock_grid(
+        [&](const core::strategy& s) { return inst.model->utility(s); },
+        inst.model->params(), inst.candidates, levels, budget);
+    double locked = 0.0;
+    for (const core::action& a : r.best) locked += a.lock;
+    t.add_row({name, static_cast<long long>(r.best.size()), locked,
+               inst.model->expected_revenue(r.best),
+               inst.model->expected_fees(r.best) +
+                   inst.model->channel_costs(r.best),
+               r.value});
+  };
+
+  optimise("linear (C + 0.02*l)");
+  for (const double lifetime : {1.0, 5.0, 20.0, 80.0}) {
+    const core::interest_rate_cost cost(1.0, 0.05, lifetime);
+    inst.model->set_cost_model(&cost);
+    optimise("interest 5% x T=" + std::to_string(static_cast<int>(lifetime)));
+  }
+  inst.model->set_cost_model(nullptr);
+  t.print(std::cout);
+}
+
+void bm_brute_force_with_cost_model(benchmark::State& state) {
+  bench::join_instance inst = bench::make_join_instance(
+      72, 9, bench::default_params(), 1.0, 18.0, /*barabasi=*/false);
+  const core::interest_rate_cost cost(1.0, 0.05, 10.0);
+  inst.model->set_cost_model(&cost);
+  const std::vector<double> levels{1.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::brute_force_lock_grid(
+        [&](const core::strategy& s) { return inst.model->utility(s); },
+        inst.model->params(), inst.candidates, levels, 12.0));
+  }
+}
+BENCHMARK(bm_brute_force_with_cost_model)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_cost_model_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

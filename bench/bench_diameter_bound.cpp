@@ -1,0 +1,76 @@
+// E8 — Theorem 6: the hub longest-shortest-path bound. For networks where
+// the mid-chord deviation is unprofitable (the stability premise), the
+// measured d must respect d <= 2((C+eps)/2 - lambda_e f)/(p_min N f) + 1.
+
+#include "bench_common.h"
+#include "topology/diameter_bound.h"
+
+namespace lcg {
+namespace {
+
+dist::demand_model make_demand(const graph::digraph& g, double zipf_s,
+                               double total) {
+  const dist::zipf_transaction_distribution zipf(zipf_s);
+  return dist::demand_model(g, zipf, total);
+}
+
+void print_bound_table() {
+  bench::print_header(
+      "E8 / Theorem 6",
+      "Hub path length d vs the Theorem 6 bound across topologies and "
+      "channel costs C. Whenever the stability premise holds, d <= bound.");
+
+  table t({"graph", "C", "hub", "d", "lambda_e", "p_min", "bound",
+           "premise", "d<=bound"});
+  t.set_double_precision(3);
+
+  const auto row = [&](const std::string& name, const graph::digraph& g,
+                       double c) {
+    const auto demand = make_demand(g, 1.0, static_cast<double>(g.node_count()));
+    const topology::hub_path_analysis r =
+        topology::analyze_hub_path(g, demand, /*fee=*/0.05, c);
+    t.add_row({name, c, static_cast<long long>(r.hub),
+               static_cast<long long>(r.d), r.lambda_e, r.p_min, r.bound,
+               std::string(r.premise_holds ? "yes" : "no"),
+               std::string(r.bound_holds ? "yes" : "no")});
+  };
+
+  rng gen(11);
+  const graph::digraph path = graph::path_graph(11);
+  const graph::digraph cycle = graph::cycle_graph(14);
+  const graph::digraph ba = graph::barabasi_albert(40, 2, gen);
+  const graph::digraph grid = graph::grid_graph(5, 5);
+  for (const double c : {0.05, 0.5, 5.0, 50.0}) {
+    row("path-11", path, c);
+    row("cycle-14", cycle, c);
+    row("ba-40", ba, c);
+    row("grid-5x5", grid, c);
+  }
+  t.print(std::cout);
+  std::cout << "(small C: the premise fails — a stable network could not "
+               "look like this, so the bound is not asserted; large C: "
+               "premise holds and the bound is respected everywhere.)\n";
+}
+
+void bm_analyze_hub_path(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(3);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+  const auto demand = make_demand(g, 1.0, static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topology::analyze_hub_path(g, demand, 0.05, 1.0));
+  }
+}
+BENCHMARK(bm_analyze_hub_path)->Arg(20)->Arg(40)->Arg(80)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_bound_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E18 — best-response dynamics and social welfare. Section IV-B proves
+// star/path/circle (in)stability analytically; here the dynamics are run
+// from each topology and from random seeds, recording what they converge
+// to, plus the welfare comparison across the canonical topologies.
+
+#include "bench_common.h"
+#include "graph/properties.h"
+#include "topology/dynamics.h"
+#include "topology/welfare.h"
+
+namespace lcg {
+namespace {
+
+std::string outcome_name(topology::dynamics_outcome o) {
+  switch (o) {
+    case topology::dynamics_outcome::converged:
+      return "converged";
+    case topology::dynamics_outcome::cycled:
+      return "cycled";
+    case topology::dynamics_outcome::round_cap:
+      return "round cap";
+  }
+  return "?";
+}
+
+void print_dynamics_study() {
+  bench::print_header(
+      "E18a / best-response dynamics",
+      "Sequential best responses from each canonical 6-node topology "
+      "(a=1, b=1, l=0.3, s=2): does play converge, how fast, and is the "
+      "terminal state a hub topology as the paper's analysis predicts?");
+
+  topology::game_params p{1.0, 1.0, 0.3, 2.0};
+  table t({"start", "outcome", "rounds", "moves", "final channels",
+           "final max degree", "final is NE"});
+  const auto run = [&](const std::string& name, const graph::digraph& g) {
+    topology::dynamics_options opts;
+    opts.max_rounds = 32;
+    const topology::dynamics_result r =
+        topology::best_response_dynamics(g, p, opts);
+    const bool ne =
+        topology::check_nash_equilibrium(r.final_graph, p).is_equilibrium;
+    const graph::node_id hub = graph::max_degree_node(r.final_graph);
+    t.add_row({name, outcome_name(r.outcome),
+               static_cast<long long>(r.rounds),
+               static_cast<long long>(r.applied.size()),
+               static_cast<long long>(r.final_graph.edge_count() / 2),
+               static_cast<long long>(r.final_graph.out_degree(hub)),
+               std::string(ne ? "yes" : "no")});
+  };
+  run("star-5", graph::star_graph(5));
+  run("path-6", graph::path_graph(6));
+  run("circle-6", graph::cycle_graph(6));
+  rng gen(5);
+  run("ER(6,0.4) seed A", graph::erdos_renyi(6, 0.4, gen));
+  run("ER(6,0.4) seed B", graph::erdos_renyi(6, 0.4, gen));
+  t.print(std::cout);
+
+  bench::print_header(
+      "E18b / welfare of canonical topologies",
+      "Social welfare (sum of utilities) at a=2, b=1, l=0.3, s=2 — hops "
+      "destroy (a-b) in aggregate, so short-route topologies win.");
+  table t2({"topology", "welfare", "revenue", "fees", "cost", "min utility",
+            "is NE"});
+  for (const auto& row :
+       topology::canonical_topology_comparison(6, {2.0, 1.0, 0.3, 2.0})) {
+    t2.add_row({row.name, row.welfare.total, row.welfare.revenue,
+                row.welfare.fees, row.welfare.cost, row.welfare.min_utility,
+                std::string(row.is_nash ? "yes" : "no")});
+  }
+  t2.print(std::cout);
+}
+
+void bm_best_response_round(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 0.3, 2.0};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::digraph g = graph::cycle_graph(n);
+  topology::dynamics_options opts;
+  opts.max_rounds = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::best_response_dynamics(g, p, opts));
+  }
+}
+BENCHMARK(bm_best_response_round)->Arg(5)->Arg(6)->Arg(7)->Unit(
+    benchmark::kMillisecond);
+
+void bm_social_welfare(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 0.3, 2.0};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(2);
+  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::social_welfare(g, p));
+  }
+}
+BENCHMARK(bm_social_welfare)->Arg(20)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_dynamics_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

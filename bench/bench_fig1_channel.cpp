@@ -1,0 +1,91 @@
+// E1 — Figure 1: payment-channel balance-update semantics, plus substrate
+// throughput benchmarks for single-channel and multi-hop payments.
+
+#include "bench_common.h"
+#include "pcn/network.h"
+
+namespace lcg {
+namespace {
+
+void print_figure1_trace() {
+  bench::print_header(
+      "E1 / Figure 1",
+      "A (10, 7) channel processes payments 5, 6, 5 from u to v; the payment "
+      "of 6 must fail when b_u = 5 (insufficient balance), the others shift "
+      "balances exactly as the figure shows.");
+
+  pcn::network net(2);
+  const pcn::channel_id id = net.open_channel(0, 1, 10.0, 7.0);
+  table t({"step", "payment u->v", "result", "b_u", "b_v"});
+  t.add_row({std::string("open"), 0.0, std::string("-"),
+             net.balance_of(id, 0), net.balance_of(id, 1)});
+  int step = 1;
+  for (const double x : {5.0, 6.0, 5.0}) {
+    const pcn::payment_result res = net.execute_payment(0, 1, x);
+    t.add_row({std::string("pay ") + std::to_string(step++), x,
+               std::string(res.ok() ? "success" : "FAILS (b_u < x)"),
+               net.balance_of(id, 0), net.balance_of(id, 1)});
+  }
+  t.print(std::cout);
+}
+
+void bm_single_channel_payment(benchmark::State& state) {
+  pcn::network net(2);
+  net.open_channel(0, 1, 1e12, 1e12);
+  bool forward = true;
+  for (auto _ : state) {
+    // Alternate directions so balances never deplete.
+    benchmark::DoNotOptimize(
+        net.execute_payment(forward ? 0 : 1, forward ? 1 : 0, 1.0));
+    forward = !forward;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_single_channel_payment);
+
+void bm_multi_hop_payment(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  pcn::network net(hops + 1);
+  for (graph::node_id v = 0; v < hops; ++v)
+    net.open_channel(v, v + 1, 1e12, 1e12);
+  const dist::constant_fee fee(0.1);
+  bool forward = true;
+  const auto last = static_cast<graph::node_id>(hops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.execute_payment(
+        forward ? 0 : last, forward ? last : 0, 1.0, &fee));
+    forward = !forward;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_multi_hop_payment)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void bm_random_tie_break_routing(benchmark::State& state) {
+  // Routing cost with uniform shortest-path sampling on a grid (many ties).
+  const graph::digraph topo = graph::grid_graph(8, 8);
+  pcn::network net(topo.node_count());
+  for (graph::edge_id e = 0; e < topo.edge_slots(); e += 2) {
+    const graph::edge& ed = topo.edge_at(e);
+    net.open_channel(ed.src, ed.dst, 1e12, 1e12);
+  }
+  rng tie(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.execute_payment(0, 63, 1.0, nullptr, &tie));
+    benchmark::DoNotOptimize(
+        net.execute_payment(63, 0, 1.0, nullptr, &tie));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(bm_random_tie_break_routing);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_figure1_trace();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E9 — ablation of the fixed-lambda assumption (DESIGN.md choice 4).
+// Theorem 1 holds the candidate rates lambda_uv fixed while channels are
+// added; the optimisers therefore maximise an *estimated* objective. This
+// experiment measures how the choice of estimator changes (a) the strategy
+// the greedy picks and (b) the exact utility that strategy actually earns.
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace lcg {
+namespace {
+
+void print_ablation() {
+  bench::print_header(
+      "E9 / fixed-lambda ablation",
+      "Greedy (M = 4, lock 1) under three rate estimators; columns compare "
+      "the estimated objective with the exact recomputed U' and U of the "
+      "chosen strategy. No estimator dominates: full_connection and "
+      "degree_share overestimate absolute rates; anchor_pair is pessimistic "
+      "but often ranks strategies better.");
+
+  table t({"seed", "estimator", "estimated U'", "exact U'", "exact U",
+           "exact E_rev", "estimations"});
+  for (const std::uint64_t seed : {51u, 52u, 53u}) {
+    bench::join_instance inst =
+        bench::make_join_instance(seed, 40, bench::default_params());
+
+    const auto run = [&](const std::string& name,
+                         core::rate_estimator& est) {
+      const core::estimated_objective obj(*inst.model, est);
+      const core::greedy_result g =
+          core::greedy_fixed_lock(obj, inst.candidates, 1.0, 4);
+      t.add_row({static_cast<long long>(seed), name, g.objective_value,
+                 inst.model->simplified_utility(g.chosen),
+                 inst.model->utility(g.chosen),
+                 inst.model->expected_revenue(g.chosen),
+                 static_cast<long long>(est.calls())});
+    };
+
+    core::full_connection_rate_estimator full(*inst.model, inst.candidates);
+    run("full_connection", full);
+    core::anchor_pair_rate_estimator anchor(*inst.model);
+    run("anchor_pair", anchor);
+    core::degree_share_rate_estimator degree(*inst.model);
+    run("degree_share", degree);
+  }
+  t.print(std::cout);
+  std::cout << "(estimated and exact U' differ because real revenue needs "
+               "pairs of channels; the ranking of strategies — which "
+               "estimator finds the best exact U — is the ablation result "
+               "recorded in EXPERIMENTS.md.)\n";
+}
+
+void bm_estimator_construction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bench::join_instance inst =
+      bench::make_join_instance(60, n, bench::default_params());
+  for (auto _ : state) {
+    core::full_connection_rate_estimator est(*inst.model, inst.candidates);
+    benchmark::DoNotOptimize(est.estimate(0, 1.0));
+  }
+}
+BENCHMARK(bm_estimator_construction)->Arg(50)->Arg(100)->Arg(200)->Unit(
+    benchmark::kMillisecond);
+
+void bm_anchor_pair_full_sweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bench::join_instance inst =
+      bench::make_join_instance(61, n, bench::default_params());
+  for (auto _ : state) {
+    core::anchor_pair_rate_estimator est(*inst.model);
+    double total = 0.0;
+    for (const graph::node_id v : inst.candidates)
+      total += est.estimate(v, 1.0);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_anchor_pair_full_sweep)->Arg(20)->Arg(40)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

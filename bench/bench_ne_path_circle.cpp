@@ -1,0 +1,102 @@
+// E13/E14 — Theorems 10 and 11: the path is never stable; the circle
+// destabilises beyond n0. Series: endpoint-rewiring gains on paths, chord
+// gains and the measured n0 on circles, and the revenue-ratio asymptote.
+
+#include "bench_common.h"
+#include "topology/path_circle.h"
+
+namespace lcg {
+namespace {
+
+void print_path_series() {
+  bench::print_header(
+      "E13 / Theorem 10",
+      "Best endpoint-rewiring gain on n-node paths across Zipf exponents; "
+      "all gains must be positive (the path is never a Nash equilibrium).");
+  table t({"n", "s", "endpoint gain", "rewire target", "full checker NE?"});
+  for (const std::size_t n : {4u, 5u, 6u, 8u}) {
+    for (const double s : {0.0, 1.0, 2.0}) {
+      topology::game_params p{1.0, 1.0, 0.5, s};
+      const auto dev = topology::path_endpoint_deviation(n, p);
+      const bool ne = topology::path_is_nash(n, p);
+      t.add_row({static_cast<long long>(n), s,
+                 dev ? dev->gain() : 0.0,
+                 dev ? static_cast<long long>(dev->added_peers[0])
+                     : static_cast<long long>(-1),
+                 std::string(ne ? "YES (violates Thm 10)" : "no")});
+    }
+  }
+  t.print(std::cout);
+}
+
+void print_circle_series() {
+  bench::print_header(
+      "E14a / Theorem 11",
+      "Opposite-chord gain on n-node circles (a = b = 1, s = 1): the gain "
+      "crosses zero at n0 and grows afterwards.");
+  table t({"n", "chord gain", "rev default", "rev chord", "fees default",
+           "fees chord"});
+  topology::game_params p{1.0, 1.0, 1.0, 1.0};
+  for (const std::size_t n : {6u, 8u, 10u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    const topology::circle_chord_report r = topology::circle_chord_gain(n, p);
+    t.add_row({static_cast<long long>(n), r.gain, r.revenue_default,
+               r.revenue_chord, r.fees_default, r.fees_chord});
+  }
+  t.print(std::cout);
+
+  table t2({"edge cost l", "measured n0"});
+  for (const double l : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    topology::game_params q{1.0, 1.0, l, 1.0};
+    const auto n0 = topology::circle_first_unstable_n(4, 256, q);
+    t2.add_row({l, n0 ? static_cast<long long>(*n0)
+                      : static_cast<long long>(-1)});
+  }
+  std::cout << "\n";
+  t2.print(std::cout);
+
+  bench::print_header(
+      "E14b / Theorem 11 asymptotics",
+      "Revenue ratio chord/default vs n (paper lower-bounds it by "
+      "(5/16)/(1/4) = 1.25; exact values sit above).");
+  table t3({"n", "rev ratio", "rev default / (b*n/4)"});
+  topology::game_params pure{0.0, 1.0, 0.0, 0.0};
+  for (const std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    const topology::circle_chord_report r =
+        topology::circle_chord_gain(n, pure);
+    t3.add_row({static_cast<long long>(n),
+                r.revenue_chord / r.revenue_default,
+                r.revenue_default / (static_cast<double>(n) / 4.0)});
+  }
+  t3.print(std::cout);
+}
+
+void bm_circle_chord_gain(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 1.0, 1.0};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::circle_chord_gain(n, p));
+  }
+}
+BENCHMARK(bm_circle_chord_gain)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMillisecond);
+
+void bm_path_full_check(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 0.5, 1.0};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::path_is_nash(n, p));
+  }
+}
+BENCHMARK(bm_path_full_check)->Arg(4)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_path_series();
+  lcg::print_circle_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

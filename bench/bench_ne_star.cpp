@@ -1,0 +1,124 @@
+// E10/E11/E12 — Theorems 7, 8, 9: when is the star a Nash equilibrium?
+// Three artefacts: the deviation-family utilities at large s (Thm 7), the
+// (s, l) parameter-space map comparing the paper's closed-form conditions
+// with the exhaustive numeric checker (Thm 8), and the Theorem 9
+// sufficient-region sweep.
+
+#include "bench_common.h"
+#include "topology/nash.h"
+#include "topology/star.h"
+#include "util/harmonic.h"
+
+namespace lcg {
+namespace {
+
+void print_thm7_families() {
+  bench::print_header(
+      "E10 / Theorem 7",
+      "Leaf deviation families on a 6-leaf star at s = 25 (2^-s ~ 0): every "
+      "deviation must fall below the default strategy's utility.");
+  topology::game_params p{/*a=*/2.0, /*b=*/3.0, /*l=*/0.05, /*s=*/25.0};
+  const auto families = topology::star_leaf_deviation_utilities(6, p);
+  table t({"family", "paper-formula U", "exact U", "beats default?"});
+  const double base = families[0].exact_utility;
+  for (const auto& fam : families) {
+    t.add_row({fam.name, fam.paper_utility(), fam.exact_utility,
+               std::string(fam.exact_utility > base + 1e-9 ? "YES (unstable)"
+                                                           : "no")});
+  }
+  t.print(std::cout);
+}
+
+void print_thm8_map() {
+  bench::print_header(
+      "E11 / Theorem 8",
+      "Star (5 leaves) equilibrium map over (s, l) at a = b = 1: paper "
+      "closed form vs exhaustive numeric best-response check. The paper "
+      "conditions are sufficient (conservative): no cell may show "
+      "closed-form YES with numeric NO.");
+
+  const std::size_t leaves = 5;
+  const graph::digraph g = graph::star_graph(leaves);
+  table t({"s", "l", "closed form", "numeric NE", "agreement"});
+  int disagreements = 0;
+  int conservative = 0;
+  for (const double s : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0}) {
+    for (const double l : {0.02, 0.1, 0.3, 0.6, 1.0, 2.0}) {
+      topology::game_params p{1.0, 1.0, l, s};
+      const bool closed = topology::star_is_ne_closed_form(leaves, p);
+      const bool numeric =
+          topology::check_nash_equilibrium(g, p).is_equilibrium;
+      std::string verdict = "ok";
+      if (closed && !numeric) {
+        verdict = "VIOLATION";
+        ++disagreements;
+      } else if (!closed && numeric) {
+        verdict = "conservative";
+        ++conservative;
+      }
+      t.add_row({s, l, std::string(closed ? "NE" : "-"),
+                 std::string(numeric ? "NE" : "-"), verdict});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "closed-form-says-NE-but-unstable cells: " << disagreements
+            << " (must be 0); conservative cells (numeric NE but conditions "
+               "fail): "
+            << conservative << "\n";
+}
+
+void print_thm9_region() {
+  bench::print_header(
+      "E12 / Theorem 9",
+      "Sufficient region: s >= 2 and a/H, b/H <= l imply the star is a NE. "
+      "Sweep of (s, leaves) at a = b = 0.9*l*H.");
+  table t({"s", "leaves", "thm9 holds", "closed form", "numeric NE"});
+  for (const double s : {2.0, 2.5, 3.0}) {
+    for (const std::size_t leaves : {3u, 5u, 7u}) {
+      const double h = harmonic(leaves, s);
+      topology::game_params p{0.9 * h, 0.9 * h, 1.0, s};
+      const bool sufficient = topology::star_ne_sufficient_thm9(leaves, p);
+      const bool closed = topology::star_is_ne_closed_form(leaves, p);
+      const graph::digraph g = graph::star_graph(leaves);
+      const bool numeric =
+          topology::check_nash_equilibrium(g, p).is_equilibrium;
+      t.add_row({s, static_cast<long long>(leaves),
+                 std::string(sufficient ? "yes" : "no"),
+                 std::string(closed ? "NE" : "-"),
+                 std::string(numeric ? "NE" : "-")});
+    }
+  }
+  t.print(std::cout);
+}
+
+void bm_closed_form(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 0.4, 1.0};
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::star_ne_conditions(leaves, p));
+  }
+}
+BENCHMARK(bm_closed_form)->Arg(8)->Arg(64)->Arg(512);
+
+void bm_numeric_checker(benchmark::State& state) {
+  topology::game_params p{1.0, 1.0, 0.4, 1.0};
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const graph::digraph g = graph::star_graph(leaves);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::check_nash_equilibrium(g, p));
+  }
+}
+BENCHMARK(bm_numeric_checker)->Arg(4)->Arg(6)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lcg
+
+int main(int argc, char** argv) {
+  lcg::print_thm7_families();
+  lcg::print_thm8_map();
+  lcg::print_thm9_region();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

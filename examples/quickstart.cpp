@@ -1,0 +1,63 @@
+// Quickstart: decide how a new node should join a small payment channel
+// network.
+//
+//   $ ./examples/quickstart
+//
+// Builds a 12-node host PCN, defines the paper's utility model (routing
+// revenue vs fees vs channel costs under a Zipf transaction distribution),
+// and runs Algorithm 1 (greedy) to pick the channels for a budget of 10
+// coins.
+
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/rate_estimator.h"
+#include "core/utility.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace lcg;
+
+  // 1. A host network: 12 nodes wired by preferential attachment (a stand-in
+  //    for a Lightning-like heavy-tailed topology).
+  rng gen(7);
+  const graph::digraph host = graph::barabasi_albert(12, 2, gen);
+
+  // 2. The economic model (Section II of the paper).
+  core::model_params params;
+  params.onchain_cost = 1.0;       // C: on-chain fee per channel
+  params.opportunity_rate = 0.02;  // r: cost of locked capital
+  params.fee_avg = 2.0;            // f_avg: fee earned per forwarded tx
+  params.fee_avg_tx = 0.5;         // f^T_avg: fee paid per hop of own txs
+  params.user_tx_rate = 1.0;       // N_u: own sending rate
+
+  // Zipf(s = 1) transaction distribution, 12 tx per unit time network-wide.
+  const core::utility_model model =
+      core::make_zipf_model(host, /*zipf_s=*/1.0, /*total_rate=*/12.0,
+                            params);
+
+  // 3. Candidates and the estimated objective of Section III.
+  std::vector<graph::node_id> candidates(host.node_count());
+  for (graph::node_id v = 0; v < host.node_count(); ++v) candidates[v] = v;
+  core::full_connection_rate_estimator estimator(model, candidates);
+  const core::estimated_objective objective(model, estimator);
+
+  // 4. Algorithm 1: greedy with a fixed lock of 1.5 coins per channel.
+  const double budget = 10.0;
+  const double lock = 1.5;
+  const std::size_t max_channels =
+      core::max_channels(params, budget, lock);
+  const core::greedy_result result = core::greedy_fixed_lock(
+      objective, candidates, lock, max_channels);
+
+  std::cout << "budget " << budget << " admits " << max_channels
+            << " channels of lock " << lock << "\n";
+  std::cout << "greedy picks peers:";
+  for (const core::action& a : result.chosen) std::cout << " " << a.peer;
+  std::cout << "\nestimated U' = " << result.objective_value
+            << "\nexact E_rev  = " << model.expected_revenue(result.chosen)
+            << "\nexact E_fees = " << model.expected_fees(result.chosen)
+            << "\nexact U      = " << model.utility(result.chosen) << "\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/brute_force.h"
+
+#include <limits>
+
+#include "util/enumeration.h"
+
+namespace lcg::core {
+
+brute_force_result brute_force_fixed_lock(
+    const objective_fn& objective, const model_params& params,
+    std::span<const graph::node_id> candidates, double lock, double budget) {
+  LCG_EXPECTS(candidates.size() <= 24);
+  brute_force_result result;
+  result.value = -std::numeric_limits<double>::infinity();
+
+  const double per_channel = params.onchain_cost + lock;
+  for_each_subset(candidates.size(),
+                  [&](const std::vector<std::size_t>& members) {
+                    const double capital =
+                        per_channel * static_cast<double>(members.size());
+                    if (capital > budget + 1e-9) return true;
+                    strategy s;
+                    s.reserve(members.size());
+                    for (const std::size_t i : members)
+                      s.push_back(action{candidates[i], lock});
+                    ++result.strategies_evaluated;
+                    const double value = objective(s);
+                    if (value > result.value) {
+                      result.value = value;
+                      result.best = std::move(s);
+                    }
+                    return true;
+                  });
+  return result;
+}
+
+brute_force_result brute_force_lock_grid(
+    const objective_fn& objective, const model_params& params,
+    std::span<const graph::node_id> candidates,
+    std::span<const double> lock_levels, double budget) {
+  LCG_EXPECTS(candidates.size() <= 24);
+  LCG_EXPECTS(!lock_levels.empty());
+  brute_force_result result;
+  result.value = -std::numeric_limits<double>::infinity();
+
+  for_each_subset(candidates.size(), [&](const std::vector<std::size_t>&
+                                             members) {
+    if (members.empty()) {
+      ++result.strategies_evaluated;
+      const double value = objective({});
+      if (value > result.value) {
+        result.value = value;
+        result.best = {};
+      }
+      return true;
+    }
+    // Mixed-radix enumeration over lock levels per member.
+    std::vector<std::size_t> digits(members.size(), 0);
+    for (;;) {
+      double capital = 0.0;
+      strategy s;
+      s.reserve(members.size());
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const double lock = lock_levels[digits[i]];
+        capital += params.onchain_cost + lock;
+        s.push_back(action{candidates[members[i]], lock});
+      }
+      if (capital <= budget + 1e-9) {
+        ++result.strategies_evaluated;
+        const double value = objective(s);
+        if (value > result.value) {
+          result.value = value;
+          result.best = std::move(s);
+        }
+      }
+      // Increment the mixed-radix counter.
+      std::size_t pos = 0;
+      while (pos < digits.size()) {
+        if (++digits[pos] < lock_levels.size()) break;
+        digits[pos] = 0;
+        ++pos;
+      }
+      if (pos == digits.size()) break;
+    }
+    return true;
+  });
+  return result;
+}
+
+}  // namespace lcg::core

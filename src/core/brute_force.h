@@ -1,0 +1,45 @@
+// Exact reference optimiser.
+//
+// Enumerates every candidate subset (and optionally every assignment of
+// locks from a grid) within budget, evaluating an arbitrary objective
+// callable. Exponential — intended for small instances where the optimum is
+// needed to measure the approximation ratios of Theorems 4/5 and the 1/5
+// bound of III-D.
+
+#ifndef LCG_CORE_BRUTE_FORCE_H
+#define LCG_CORE_BRUTE_FORCE_H
+
+#include <functional>
+#include <span>
+
+#include "core/params.h"
+#include "core/strategy.h"
+
+namespace lcg::core {
+
+using objective_fn = std::function<double(const strategy&)>;
+
+struct brute_force_result {
+  strategy best;
+  double value = 0.0;
+  std::uint64_t strategies_evaluated = 0;
+};
+
+/// Every subset of `candidates`, each opened channel locking `lock`;
+/// subsets violating the capital budget (sum of C + lock) are skipped.
+/// Requires candidates.size() <= 24.
+[[nodiscard]] brute_force_result brute_force_fixed_lock(
+    const objective_fn& objective, const model_params& params,
+    std::span<const graph::node_id> candidates, double lock, double budget);
+
+/// Every subset of `candidates` x every assignment of per-channel locks from
+/// `lock_levels`, within budget. Requires the total enumeration to stay
+/// under ~50M strategies; callers control this via candidate/level counts.
+[[nodiscard]] brute_force_result brute_force_lock_grid(
+    const objective_fn& objective, const model_params& params,
+    std::span<const graph::node_id> candidates,
+    std::span<const double> lock_levels, double budget);
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_BRUTE_FORCE_H

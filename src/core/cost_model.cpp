@@ -1,0 +1,30 @@
+#include "core/cost_model.h"
+
+namespace lcg::core {
+
+linear_cost::linear_cost(double onchain_cost, double opportunity_rate)
+    : onchain_cost_(onchain_cost), opportunity_rate_(opportunity_rate) {
+  LCG_EXPECTS(onchain_cost >= 0.0);
+  LCG_EXPECTS(opportunity_rate >= 0.0);
+}
+
+double linear_cost::channel_cost(double locked) const {
+  LCG_EXPECTS(locked >= 0.0);
+  return onchain_cost_ + opportunity_rate_ * locked;
+}
+
+interest_rate_cost::interest_rate_cost(double onchain_cost, double rate,
+                                       double lifetime)
+    : onchain_cost_(onchain_cost),
+      discount_(1.0 - std::pow(1.0 + rate, -lifetime)) {
+  LCG_EXPECTS(onchain_cost >= 0.0);
+  LCG_EXPECTS(rate >= 0.0);
+  LCG_EXPECTS(lifetime >= 0.0);
+}
+
+double interest_rate_cost::channel_cost(double locked) const {
+  LCG_EXPECTS(locked >= 0.0);
+  return onchain_cost_ + locked * discount_;
+}
+
+}  // namespace lcg::core

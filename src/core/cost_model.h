@@ -1,0 +1,64 @@
+// Channel cost models.
+//
+// The base model (II-C) prices a channel at L_u(v, l) = C + r*l: on-chain
+// fee plus a linear opportunity cost on the locked coins. The paper notes
+// (II-C, VI) that its computational results survive the richer cost model
+// of Guasoni et al. [17], which discounts the locked capital over the
+// channel's expected lifetime at an interest rate. This header implements
+// both as interchangeable `cost_model`s, so the optimisers and the
+// cost-model ablation (experiment E17) can swap them:
+//
+//  * linear_cost:        L = C + r * locked                        (II-C)
+//  * interest_rate_cost: L = C + locked * (1 - (1 + rho)^-T)
+//    the present-value loss of locking `locked` coins for T periods at
+//    per-period rate rho — the [17]-style lifetime discounting. For small
+//    rho*T this approaches the linear model with r = rho*T, which is the
+//    regime where the paper's linear abstraction is faithful.
+
+#ifndef LCG_CORE_COST_MODEL_H
+#define LCG_CORE_COST_MODEL_H
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lcg::core {
+
+/// Cost borne by one party for opening and funding a channel.
+class cost_model {
+ public:
+  virtual ~cost_model() = default;
+
+  /// Total channel cost L_u(v, locked) for this party.
+  virtual double channel_cost(double locked) const = 0;
+};
+
+/// II-C: L = C + r * locked.
+class linear_cost final : public cost_model {
+ public:
+  linear_cost(double onchain_cost, double opportunity_rate);
+  double channel_cost(double locked) const override;
+
+ private:
+  double onchain_cost_;
+  double opportunity_rate_;
+};
+
+/// Guasoni et al. [17]-style: the opportunity cost of `locked` coins held
+/// for `lifetime` periods at per-period interest `rate` is the present-value
+/// shortfall locked * (1 - (1 + rate)^-lifetime).
+class interest_rate_cost final : public cost_model {
+ public:
+  interest_rate_cost(double onchain_cost, double rate, double lifetime);
+  double channel_cost(double locked) const override;
+
+  double discount_factor() const noexcept { return discount_; }
+
+ private:
+  double onchain_cost_;
+  double discount_;  // 1 - (1 + rate)^-lifetime
+};
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_COST_MODEL_H

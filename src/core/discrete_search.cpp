@@ -1,0 +1,78 @@
+#include "core/discrete_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/enumeration.h"
+
+namespace lcg::core {
+
+discrete_search_result discrete_exhaustive_search(
+    const estimated_objective& objective,
+    std::span<const graph::node_id> candidates, double budget,
+    const discrete_search_options& options) {
+  LCG_EXPECTS(options.unit > 0.0);
+  LCG_EXPECTS(budget >= 0.0);
+  const model_params& params = objective.model().params();
+
+  discrete_search_result result;
+  result.objective_value = -std::numeric_limits<double>::infinity();
+  const std::uint64_t evals_before = objective.evaluations();
+
+  const auto units = static_cast<std::uint64_t>(budget / options.unit);
+  std::size_t k = params.onchain_cost > 0.0
+                      ? static_cast<std::size_t>(budget / params.onchain_cost)
+                      : candidates.size();
+  k = std::min(k, candidates.size());
+  if (k == 0) {
+    result.evaluations = objective.evaluations() - evals_before;
+    return result;
+  }
+
+  const auto try_division = [&](const std::vector<std::uint64_t>& division) {
+    ++result.divisions_total;
+    if (result.divisions_total > options.max_divisions) {
+      result.truncated = true;
+      return false;  // stop enumeration
+    }
+    // Build the per-step lock list; a zero part opens no channel.
+    std::vector<double> locks;
+    double capital = 0.0;
+    for (const std::uint64_t part : division) {
+      if (part == 0) continue;
+      const double lock = static_cast<double>(part) * options.unit;
+      locks.push_back(lock);
+      capital += params.onchain_cost + lock;
+    }
+    if (locks.empty() || capital > budget + 1e-9) return true;  // infeasible
+    ++result.divisions_feasible;
+    const greedy_result sub =
+        greedy_with_step_locks(objective, candidates, locks);
+    if (sub.objective_value > result.objective_value) {
+      result.objective_value = sub.objective_value;
+      result.chosen = sub.chosen;
+    }
+    return true;
+  };
+
+  // The paper divides Bu/m units into k + 1 parts (k channel locks plus
+  // unspent slack); `for_each_bounded_partition` models the slack implicitly
+  // by allowing sums below `units`.
+  if (options.mode == division_mode::partitions) {
+    for_each_bounded_partition(units, k, try_division);
+  } else {
+    for_each_composition(units, k + 1,
+                         [&](const std::vector<std::uint64_t>& division) {
+                           // Last part is the unspent slack: drop it.
+                           std::vector<std::uint64_t> locks(
+                               division.begin(), division.end() - 1);
+                           return try_division(locks);
+                         });
+  }
+
+  result.evaluations = objective.evaluations() - evals_before;
+  return result;
+}
+
+}  // namespace lcg::core

@@ -1,0 +1,50 @@
+// Algorithm 2: exhaustive search over discretised channel funds.
+//
+// The budget Bu is split into floor(Bu/m) units of size m; every division of
+// those units into at most k = floor(Bu/C) channel locks (plus unspent
+// slack) is tried, and for each division the greedy subroutine (Algorithm 1
+// with per-step locks) selects the peers. The best division's result is
+// returned; Theorem 5 gives the (1 - 1/e) guarantee and the
+// T = C(Bu/m, Bu/C + 1) enumeration cost.
+//
+// Two enumeration modes: `partitions` (default) visits each multiset of
+// locks once (the greedy subroutine is order-insensitive at its optimum),
+// `compositions` visits every ordered division exactly as the paper counts
+// them. Infeasible divisions (sum of C + l_j over opened channels exceeding
+// Bu) are skipped. `max_divisions` caps runaway enumerations; the result
+// reports whether truncation occurred.
+
+#ifndef LCG_CORE_DISCRETE_SEARCH_H
+#define LCG_CORE_DISCRETE_SEARCH_H
+
+#include <span>
+
+#include "core/greedy.h"
+
+namespace lcg::core {
+
+enum class division_mode { partitions, compositions };
+
+struct discrete_search_options {
+  double unit = 1.0;  ///< m: the fund quantum
+  division_mode mode = division_mode::partitions;
+  std::uint64_t max_divisions = 10'000'000;
+};
+
+struct discrete_search_result {
+  strategy chosen;
+  double objective_value = 0.0;      // U' estimate of `chosen`
+  std::uint64_t divisions_total = 0; // feasible + infeasible visited
+  std::uint64_t divisions_feasible = 0;
+  std::uint64_t evaluations = 0;     // objective evaluations consumed
+  bool truncated = false;            // hit max_divisions
+};
+
+[[nodiscard]] discrete_search_result discrete_exhaustive_search(
+    const estimated_objective& objective,
+    std::span<const graph::node_id> candidates, double budget,
+    const discrete_search_options& options = {});
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_DISCRETE_SEARCH_H

@@ -1,0 +1,33 @@
+#include "core/objective.h"
+
+#include <cmath>
+#include <limits>
+
+namespace lcg::core {
+
+estimated_objective::estimated_objective(const utility_model& model,
+                                         rate_estimator& estimator)
+    : model_(model), estimator_(estimator) {}
+
+double estimated_objective::estimated_revenue(const strategy& s) const {
+  double rate_sum = 0.0;
+  for (const action& a : s) rate_sum += estimator_.estimate(a.peer, a.lock);
+  return rate_sum * model_.params().fee_avg;
+}
+
+double estimated_objective::simplified(const strategy& s) const {
+  ++evaluations_;
+  const double fees = model_.expected_fees(s);
+  if (std::isinf(fees)) return -std::numeric_limits<double>::infinity();
+  return estimated_revenue(s) - fees;
+}
+
+double estimated_objective::benefit(const strategy& s) const {
+  ++evaluations_;
+  const double fees = model_.expected_fees(s);
+  if (std::isinf(fees)) return -std::numeric_limits<double>::infinity();
+  return model_.params().onchain_alternative_cost() + estimated_revenue(s) -
+         fees - model_.channel_costs(s);
+}
+
+}  // namespace lcg::core

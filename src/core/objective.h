@@ -1,0 +1,51 @@
+// The estimated objective the optimisation algorithms maximise.
+//
+// Section III's algorithms treat the revenue of each candidate channel as a
+// fixed, pre-estimated rate lambda_uv (that is what makes U' submodular,
+// Thm 1), while fees are recomputed from actual distances on the joined
+// graph. `estimated_objective` packages exactly that surrogate:
+//
+//   simplified(S) = sum_{(v,l) in S} lambda_hat(v,l) * f_avg  -  E_fees(G+S)
+//   benefit(S)    = C_u + simplified(S) - sum_{(v,l) in S} L_u(v,l)
+//
+// (the latter is the U^b of III-D with the same revenue estimate). Both are
+// -infinity for strategies that leave the newcomer disconnected.
+
+#ifndef LCG_CORE_OBJECTIVE_H
+#define LCG_CORE_OBJECTIVE_H
+
+#include <cstdint>
+
+#include "core/rate_estimator.h"
+#include "core/utility.h"
+
+namespace lcg::core {
+
+class estimated_objective {
+ public:
+  estimated_objective(const utility_model& model, rate_estimator& estimator);
+
+  /// U' surrogate (monotone, submodular in the candidate set).
+  [[nodiscard]] double simplified(const strategy& s) const;
+
+  /// U^b surrogate (non-monotone; used by the continuous algorithm).
+  [[nodiscard]] double benefit(const strategy& s) const;
+
+  const utility_model& model() const noexcept { return model_; }
+  rate_estimator& estimator() const noexcept { return estimator_; }
+
+  /// Number of objective evaluations performed (either flavour).
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  void reset_evaluations() noexcept { evaluations_ = 0; }
+
+ private:
+  double estimated_revenue(const strategy& s) const;
+
+  const utility_model& model_;
+  rate_estimator& estimator_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_OBJECTIVE_H

@@ -1,0 +1,65 @@
+// Model parameters of the channel-creation game (Section II).
+
+#ifndef LCG_CORE_PARAMS_H
+#define LCG_CORE_PARAMS_H
+
+#include "util/error.h"
+
+namespace lcg::core {
+
+/// How E_fees counts the hops a sender pays for (see DESIGN.md §1.2): the
+/// paper's formula charges f^T_avg * d(u,v) although a path of length d has
+/// d-1 intermediaries; both readings are supported.
+enum class fee_distance_mode {
+  path_length,     // pay per hop: d(u, v)          (the paper's formula)
+  intermediaries,  // pay per intermediary: d(u, v) - 1
+};
+
+/// Which revenue formula to use (DESIGN.md §1.1).
+enum class revenue_mode {
+  node_betweenness,  // Section IV form: each routed tx pays u once (default)
+  edge_rates,        // Eq. (3) literal: sum of incident edge rates
+};
+
+/// Whether the counterparty of a new channel also deposits funds.
+enum class counterparty_deposit {
+  none,   // only the joining node funds the channel
+  match,  // the counterparty mirrors the deposit (symmetric capacity)
+};
+
+struct model_params {
+  double onchain_cost = 1.0;       ///< C: miner fee of one on-chain tx
+  double opportunity_rate = 0.01;  ///< r: opportunity cost rate (l = r * c)
+  double fee_avg = 0.05;           ///< f_avg: fee earned per forwarded tx
+  double fee_avg_tx = 0.05;        ///< f^T_avg: fee paid per hop of own txs
+  double user_tx_rate = 1.0;       ///< N_u: own transactions per unit time
+  double tx_size = 0.0;            ///< x > 0 enables capacity reduction
+  fee_distance_mode fee_mode = fee_distance_mode::path_length;
+  revenue_mode rev_mode = revenue_mode::node_betweenness;
+  counterparty_deposit deposit_mode = counterparty_deposit::match;
+
+  /// L_u(v, l) = C + l_u with l_u = r * locked (II-C).
+  double channel_cost(double locked) const {
+    LCG_EXPECTS(locked >= 0.0);
+    return onchain_cost + opportunity_rate * locked;
+  }
+
+  /// C_u = N_u * C / 2: expected on-chain cost of transacting entirely on
+  /// the blockchain (III-D); offsets U in the benefit function U^b.
+  double onchain_alternative_cost() const {
+    return user_tx_rate * onchain_cost / 2.0;
+  }
+
+  void validate() const {
+    LCG_EXPECTS(onchain_cost >= 0.0);
+    LCG_EXPECTS(opportunity_rate >= 0.0);
+    LCG_EXPECTS(fee_avg >= 0.0);
+    LCG_EXPECTS(fee_avg_tx >= 0.0);
+    LCG_EXPECTS(user_tx_rate >= 0.0);
+    LCG_EXPECTS(tx_size >= 0.0);
+  }
+};
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_PARAMS_H

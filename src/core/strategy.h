@@ -1,0 +1,54 @@
+// Strategies of a joining node (II-C).
+//
+// An action (v, l) opens a channel to node v with l coins locked by the
+// joining node; a strategy is a set of actions. The action set may contain
+// several channels to the same counterparty with different locked amounts.
+
+#ifndef LCG_CORE_STRATEGY_H
+#define LCG_CORE_STRATEGY_H
+
+#include <vector>
+
+#include "core/params.h"
+#include "graph/digraph.h"
+
+namespace lcg::core {
+
+struct action {
+  graph::node_id peer = graph::invalid_node;
+  double lock = 0.0;  ///< coins the joining node deposits on its side
+
+  friend bool operator==(const action&, const action&) = default;
+};
+
+using strategy = std::vector<action>;
+
+/// Total channel cost sum_{(v,l) in S} L_u(v, l) = sum (C + r*l).
+inline double strategy_cost(const model_params& params, const strategy& s) {
+  double total = 0.0;
+  for (const action& a : s) total += params.channel_cost(a.lock);
+  return total;
+}
+
+/// Budget constraint of II-C: sum (C + l_j) <= B_u. Note this is the
+/// *capital* constraint (on-chain fee plus locked coins), not the utility
+/// cost (which prices locked coins at the opportunity rate r).
+inline bool within_budget(const model_params& params, const strategy& s,
+                          double budget) {
+  double total = 0.0;
+  for (const action& a : s) total += params.onchain_cost + a.lock;
+  return total <= budget + 1e-9;
+}
+
+/// Maximum number of channels affordable with per-channel lock `lock`
+/// (II-C / III-B: M = floor(Bu / (C + l1))).
+inline std::size_t max_channels(const model_params& params, double budget,
+                                double lock) {
+  const double per_channel = params.onchain_cost + lock;
+  if (per_channel <= 0.0 || budget < per_channel) return 0;
+  return static_cast<std::size_t>(budget / per_channel);
+}
+
+}  // namespace lcg::core
+
+#endif  // LCG_CORE_STRATEGY_H

@@ -1,0 +1,124 @@
+#include "graph/betweenness.h"
+
+#include "graph/traversal.h"
+
+namespace lcg::graph {
+
+namespace {
+
+/// Runs the Brandes backward accumulation for one source and adds the
+/// dependencies into `node_acc` / `edge_acc` (either may be null).
+void accumulate_from_source(const digraph& g, node_id s,
+                            const pair_weight_fn& w,
+                            std::vector<double>* node_acc,
+                            std::vector<double>* edge_acc) {
+  const sp_dag dag = shortest_path_dag(g, s);
+  std::vector<double> delta(g.node_count(), 0.0);
+  // Process vertices in order of non-increasing distance from s.
+  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+    const node_id v = *it;
+    if (v == s) continue;
+    const double through = w(s, v) + delta[v];
+    for (const edge_id e : dag.pred[v]) {
+      const node_id u = g.edge_at(e).src;
+      const double contribution = dag.sigma[u] / dag.sigma[v] * through;
+      if (edge_acc) (*edge_acc)[e] += contribution;
+      delta[u] += contribution;
+    }
+  }
+  if (node_acc) {
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != s) (*node_acc)[v] += delta[v];
+    }
+  }
+}
+
+}  // namespace
+
+betweenness_result weighted_betweenness(const digraph& g,
+                                        const pair_weight_fn& w) {
+  betweenness_result result;
+  result.node.assign(g.node_count(), 0.0);
+  result.edge.assign(g.edge_slots(), 0.0);
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    accumulate_from_source(g, s, w, &result.node, &result.edge);
+  }
+  return result;
+}
+
+betweenness_result betweenness(const digraph& g) {
+  return weighted_betweenness(g, [](node_id, node_id) { return 1.0; });
+}
+
+double node_betweenness_of(const digraph& g, node_id u,
+                           const pair_weight_fn& w) {
+  LCG_EXPECTS(g.has_node(u));
+  std::vector<double> node_acc(g.node_count(), 0.0);
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    if (s == u) continue;  // pairs with source u are not routed *through* u
+    accumulate_from_source(g, s, w, &node_acc, nullptr);
+  }
+  return node_acc[u];
+}
+
+betweenness_result weighted_betweenness_naive(const digraph& g,
+                                              const pair_weight_fn& w) {
+  const std::size_t n = g.node_count();
+
+  // Reverse graph with identical edge ids, for path counts *into* targets.
+  digraph reversed(n);
+  for (edge_id e = 0; e < g.edge_slots(); ++e) {
+    const edge& ed = g.edge_at(e);
+    // add in id order so reversed edge ids line up 1:1 with g's
+    const edge_id re = reversed.add_edge(ed.dst, ed.src, ed.capacity);
+    LCG_ENSURES(re == e);
+    if (!ed.active) reversed.remove_edge(re);
+  }
+
+  std::vector<sp_dag> fwd, bwd;
+  fwd.reserve(n);
+  bwd.reserve(n);
+  for (node_id v = 0; v < n; ++v) {
+    fwd.push_back(shortest_path_dag(g, v));
+    bwd.push_back(shortest_path_dag(reversed, v));
+  }
+
+  betweenness_result result;
+  result.node.assign(n, 0.0);
+  result.edge.assign(g.edge_slots(), 0.0);
+
+  for (node_id s = 0; s < n; ++s) {
+    for (node_id t = 0; t < n; ++t) {
+      if (s == t || fwd[s].dist[t] == unreachable) continue;
+      const double weight = w(s, t);
+      if (weight == 0.0) continue;
+      const double total_paths = fwd[s].sigma[t];
+      const std::int32_t d = fwd[s].dist[t];
+      // Nodes strictly inside some shortest s->t path.
+      for (node_id v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (fwd[s].dist[v] == unreachable || bwd[t].dist[v] == unreachable)
+          continue;
+        if (fwd[s].dist[v] + bwd[t].dist[v] == d) {
+          result.node[v] +=
+              weight * fwd[s].sigma[v] * bwd[t].sigma[v] / total_paths;
+        }
+      }
+      // Edges on some shortest s->t path (first/last hop included).
+      for (edge_id e = 0; e < g.edge_slots(); ++e) {
+        if (!g.edge_active(e)) continue;
+        const edge& ed = g.edge_at(e);
+        if (fwd[s].dist[ed.src] == unreachable ||
+            bwd[t].dist[ed.dst] == unreachable)
+          continue;
+        if (fwd[s].dist[ed.src] + 1 + bwd[t].dist[ed.dst] == d) {
+          result.edge[e] +=
+              weight * fwd[s].sigma[ed.src] * bwd[t].sigma[ed.dst] / total_paths;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lcg::graph

@@ -1,0 +1,62 @@
+// Weighted node and edge betweenness centrality (Brandes' algorithm).
+//
+// Eq. (2) of the paper defines the probability that a directed edge carries
+// a transaction as the edge betweenness weighted by the probability of each
+// (sender, receiver) pair transacting:
+//
+//   p_e = sum_{s != r, m(s,r) > 0} me(s,r)/m(s,r) * p_trans(s,r)
+//
+// and Section IV expresses a node's expected routing revenue through the
+// analogous node betweenness (pairs for which the node is an intermediary).
+// Both are computed here by a single-pass Brandes sweep generalised with a
+// per-pair weight function w(s,t):
+//
+//   node[v]  = sum_{s != t, v not in {s,t}} w(s,t) * m_v(s,t) / m(s,t)
+//   edge[e]  = sum_{s != t}                 w(s,t) * m_e(s,t) / m(s,t)
+//
+// (edge betweenness counts the path's first and last hop as well, exactly as
+// Eq. (2) requires; node betweenness excludes endpoints, as the revenue
+// definition requires). Unreachable pairs contribute nothing.
+//
+// Complexity: O(n * (n + m)) time for unweighted (hop-count) shortest paths,
+// matching the O(n^2) estimation cost claimed in II-B for sparse graphs.
+
+#ifndef LCG_GRAPH_BETWEENNESS_H
+#define LCG_GRAPH_BETWEENNESS_H
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace lcg::graph {
+
+/// Weight of the ordered pair (s, t); typically N_s * p_trans(s, t).
+using pair_weight_fn = std::function<double(node_id s, node_id t)>;
+
+struct betweenness_result {
+  std::vector<double> node;  // indexed by node_id
+  std::vector<double> edge;  // indexed by edge_id (inactive edges: 0)
+};
+
+/// Node and edge betweenness with per-pair weights, over active edges.
+[[nodiscard]] betweenness_result weighted_betweenness(const digraph& g,
+                                                      const pair_weight_fn& w);
+
+/// Unweighted betweenness (w == 1 for every ordered pair).
+[[nodiscard]] betweenness_result betweenness(const digraph& g);
+
+/// Weighted dependency accumulated at a single node `u` (pairs with either
+/// endpoint equal to u contribute nothing). Same cost as the full sweep from
+/// all sources except it skips source u and the final per-node bookkeeping.
+[[nodiscard]] double node_betweenness_of(const digraph& g, node_id u,
+                                         const pair_weight_fn& w);
+
+/// Quadratic-per-pair reference implementation used to validate the Brandes
+/// sweep in tests. O(n^2 * m).
+[[nodiscard]] betweenness_result weighted_betweenness_naive(
+    const digraph& g, const pair_weight_fn& w);
+
+}  // namespace lcg::graph
+
+#endif  // LCG_GRAPH_BETWEENNESS_H

@@ -1,0 +1,56 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace lcg::graph {
+
+dijkstra_result dijkstra(const digraph& g, node_id src,
+                         const edge_weight_fn& weight) {
+  LCG_EXPECTS(g.has_node(src));
+  const std::size_t n = g.node_count();
+  dijkstra_result result;
+  result.cost.assign(n, unreachable_cost);
+  result.parent_edge.assign(n, invalid_edge);
+
+  using entry = std::pair<double, node_id>;  // (cost, node)
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> frontier;
+  result.cost[src] = 0.0;
+  frontier.emplace(0.0, src);
+  while (!frontier.empty()) {
+    const auto [cost, v] = frontier.top();
+    frontier.pop();
+    if (cost > result.cost[v]) continue;  // stale entry
+    g.for_each_out(v, [&](edge_id e, const edge& ed) {
+      const double w = weight(e, ed);
+      if (std::isinf(w)) return;
+      LCG_EXPECTS(w >= 0.0);
+      const double candidate = cost + w;
+      if (candidate < result.cost[ed.dst]) {
+        result.cost[ed.dst] = candidate;
+        result.parent_edge[ed.dst] = e;
+        frontier.emplace(candidate, ed.dst);
+      }
+    });
+  }
+  return result;
+}
+
+std::vector<edge_id> cheapest_path(const digraph& g, node_id src, node_id dst,
+                                   const edge_weight_fn& weight) {
+  LCG_EXPECTS(g.has_node(dst));
+  const dijkstra_result r = dijkstra(g, src, weight);
+  if (std::isinf(r.cost[dst]) || src == dst) return {};
+  std::vector<edge_id> path;
+  node_id v = dst;
+  while (v != src) {
+    const edge_id e = r.parent_edge[v];
+    path.push_back(e);
+    v = g.edge_at(e).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lcg::graph

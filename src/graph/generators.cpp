@@ -1,0 +1,144 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lcg::graph {
+
+digraph path_graph(std::size_t n, double capacity) {
+  LCG_EXPECTS(n >= 1);
+  digraph g(n);
+  for (node_id v = 0; v + 1 < n; ++v)
+    g.add_bidirectional(v, v + 1, capacity, capacity);
+  return g;
+}
+
+digraph cycle_graph(std::size_t n, double capacity) {
+  LCG_EXPECTS(n >= 3);
+  digraph g(n);
+  for (node_id v = 0; v < n; ++v) {
+    const auto next = static_cast<node_id>((v + 1) % n);
+    g.add_bidirectional(v, next, capacity, capacity);
+  }
+  return g;
+}
+
+digraph star_graph(std::size_t leaves, double capacity) {
+  LCG_EXPECTS(leaves >= 1);
+  digraph g(leaves + 1);
+  for (node_id leaf = 1; leaf <= leaves; ++leaf)
+    g.add_bidirectional(0, leaf, capacity, capacity);
+  return g;
+}
+
+digraph complete_graph(std::size_t n, double capacity) {
+  LCG_EXPECTS(n >= 1);
+  digraph g(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v)
+      g.add_bidirectional(u, v, capacity, capacity);
+  }
+  return g;
+}
+
+digraph grid_graph(std::size_t rows, std::size_t cols, double capacity) {
+  LCG_EXPECTS(rows >= 1 && cols >= 1);
+  digraph g(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<node_id>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        g.add_bidirectional(at(r, c), at(r, c + 1), capacity, capacity);
+      if (r + 1 < rows)
+        g.add_bidirectional(at(r, c), at(r + 1, c), capacity, capacity);
+    }
+  }
+  return g;
+}
+
+digraph erdos_renyi(std::size_t n, double p, rng& gen, double capacity) {
+  LCG_EXPECTS(n >= 1);
+  LCG_EXPECTS(p >= 0.0 && p <= 1.0);
+  digraph g(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      if (gen.bernoulli(p)) g.add_bidirectional(u, v, capacity, capacity);
+    }
+  }
+  return g;
+}
+
+digraph barabasi_albert(std::size_t n, std::size_t attach, rng& gen,
+                        double capacity) {
+  LCG_EXPECTS(attach >= 1);
+  LCG_EXPECTS(n > attach);
+  digraph g(n);
+  // Seed clique on attach + 1 nodes.
+  const std::size_t seed = attach + 1;
+  std::vector<node_id> endpoint_pool;  // node repeated once per degree unit
+  for (node_id u = 0; u < seed; ++u) {
+    for (node_id v = u + 1; v < seed; ++v) {
+      g.add_bidirectional(u, v, capacity, capacity);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (node_id newcomer = static_cast<node_id>(seed); newcomer < n;
+       ++newcomer) {
+    std::set<node_id> targets;
+    while (targets.size() < attach) {
+      const auto pick = static_cast<std::size_t>(gen.uniform_int(
+          0, static_cast<std::int64_t>(endpoint_pool.size()) - 1));
+      targets.insert(endpoint_pool[pick]);
+    }
+    for (const node_id t : targets) {
+      g.add_bidirectional(newcomer, t, capacity, capacity);
+      endpoint_pool.push_back(newcomer);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+digraph watts_strogatz(std::size_t n, std::size_t k, double beta, rng& gen,
+                       double capacity) {
+  LCG_EXPECTS(k >= 1);
+  LCG_EXPECTS(n > 2 * k);
+  LCG_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  // Collect the ring-lattice edges first, then rewire.
+  std::set<std::pair<node_id, node_id>> edges;  // normalised (min, max)
+  const auto normalised = [](node_id a, node_id b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (node_id u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const auto v = static_cast<node_id>((u + j) % n);
+      edges.insert(normalised(u, v));
+    }
+  }
+  std::vector<std::pair<node_id, node_id>> edge_list(edges.begin(),
+                                                     edges.end());
+  for (auto& [u, v] : edge_list) {
+    if (!gen.bernoulli(beta)) continue;
+    // Rewire the far endpoint to a uniform non-neighbour.
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      const auto w = static_cast<node_id>(
+          gen.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (w == u || w == v) continue;
+      const auto candidate = normalised(u, w);
+      if (edges.contains(candidate)) continue;
+      edges.erase(normalised(u, v));
+      edges.insert(candidate);
+      v = candidate.first == u ? candidate.second : candidate.first;
+      break;
+    }
+  }
+  digraph g(n);
+  for (const auto& [u, v] : edges)
+    g.add_bidirectional(u, v, capacity, capacity);
+  return g;
+}
+
+}  // namespace lcg::graph

@@ -1,0 +1,57 @@
+// Graph generators.
+//
+// Section IV analyses star, path and circle topologies; the joining-node
+// experiments need realistic host networks. The paper's transaction model is
+// "inspired by the Barabási-Albert preferential attachment model" (II-B), and
+// the Lightning Network's measured topology is heavy-tailed, so the BA
+// generator doubles as our Lightning-snapshot substitute (see DESIGN.md,
+// Substitutions). All generators emit bidirectional edge pairs, matching the
+// paper's channel-as-two-directed-edges representation.
+
+#ifndef LCG_GRAPH_GENERATORS_H
+#define LCG_GRAPH_GENERATORS_H
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace lcg::graph {
+
+/// Path v0 - v1 - ... - v_{n-1}. Requires n >= 1.
+[[nodiscard]] digraph path_graph(std::size_t n, double capacity = 1.0);
+
+/// Cycle of n nodes. Requires n >= 3.
+[[nodiscard]] digraph cycle_graph(std::size_t n, double capacity = 1.0);
+
+/// Star: node 0 is the centre, nodes 1..leaves are leaves.
+/// Requires leaves >= 1.
+[[nodiscard]] digraph star_graph(std::size_t leaves, double capacity = 1.0);
+
+/// Complete graph on n nodes. Requires n >= 1.
+[[nodiscard]] digraph complete_graph(std::size_t n, double capacity = 1.0);
+
+/// rows x cols grid with 4-neighbour connectivity. Requires rows, cols >= 1.
+[[nodiscard]] digraph grid_graph(std::size_t rows, std::size_t cols,
+                                 double capacity = 1.0);
+
+/// G(n, p) Erdős–Rényi: each unordered pair is connected independently with
+/// probability p (as a bidirectional channel).
+[[nodiscard]] digraph erdos_renyi(std::size_t n, double p, rng& gen,
+                                  double capacity = 1.0);
+
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `attach` + 1 nodes, each subsequent node attaches to `attach` distinct
+/// existing nodes chosen proportionally to degree. Requires n > attach >= 1.
+[[nodiscard]] digraph barabasi_albert(std::size_t n, std::size_t attach,
+                                      rng& gen, double capacity = 1.0);
+
+/// Watts–Strogatz small world: ring of n nodes each linked to `k` nearest
+/// neighbours per side, each edge rewired with probability beta.
+/// Requires n > 2 * k, k >= 1.
+[[nodiscard]] digraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                     rng& gen, double capacity = 1.0);
+
+}  // namespace lcg::graph
+
+#endif  // LCG_GRAPH_GENERATORS_H

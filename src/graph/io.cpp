@@ -1,0 +1,68 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcg::graph {
+
+void write_dot(std::ostream& os, const digraph& g, const std::string& name) {
+  os << "graph " << name << " {\n";
+  std::vector<char> consumed(g.edge_slots(), 0);
+  for (edge_id e = 0; e < g.edge_slots(); ++e) {
+    if (!g.edge_active(e) || consumed[e]) continue;
+    const edge& ed = g.edge_at(e);
+    // Look for an unconsumed reverse partner to render as one channel.
+    edge_id reverse = invalid_edge;
+    for (const edge_id r : g.out_edge_ids(ed.dst)) {
+      if (r != e && !consumed[r] && g.edge_active(r) &&
+          g.edge_at(r).dst == ed.src) {
+        reverse = r;
+        break;
+      }
+    }
+    if (reverse != invalid_edge) {
+      consumed[e] = 1;
+      consumed[reverse] = 1;
+      os << "  " << ed.src << " -- " << ed.dst << " [label=\"" << ed.capacity
+         << "/" << g.edge_at(reverse).capacity << "\"];\n";
+    } else {
+      consumed[e] = 1;
+      os << "  " << ed.src << " -- " << ed.dst << " [dir=forward, label=\""
+         << ed.capacity << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_edge_list(std::ostream& os, const digraph& g) {
+  os << "nodes " << g.node_count() << "\n";
+  for (edge_id e = 0; e < g.edge_slots(); ++e) {
+    if (!g.edge_active(e)) continue;
+    const edge& ed = g.edge_at(e);
+    os << ed.src << " " << ed.dst << " " << ed.capacity << "\n";
+  }
+}
+
+digraph read_edge_list(std::istream& is) {
+  std::string keyword;
+  std::size_t n = 0;
+  if (!(is >> keyword >> n) || keyword != "nodes")
+    throw error("read_edge_list: expected 'nodes <count>' header");
+  digraph g(n);
+  node_id src = 0, dst = 0;
+  double capacity = 0.0;
+  while (is >> src >> dst >> capacity) {
+    if (src >= n || dst >= n)
+      throw error("read_edge_list: edge endpoint out of range");
+    g.add_edge(src, dst, capacity);
+  }
+  if (!is.eof() && is.fail())
+    throw error("read_edge_list: malformed edge line");
+  return g;
+}
+
+}  // namespace lcg::graph

@@ -1,0 +1,31 @@
+// Graph serialisation: Graphviz DOT (for visualisation) and a plain
+// edge-list text format (round-trippable, for persisting experiment
+// topologies). Bidirectional edge pairs are emitted as one undirected DOT
+// edge; the edge-list format keeps directions and capacities exactly.
+
+#ifndef LCG_GRAPH_IO_H
+#define LCG_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace lcg::graph {
+
+/// Graphviz DOT. Channels (paired directed edges with equal endpoints) are
+/// rendered as a single undirected edge labelled with both capacities;
+/// unpaired directed edges render as arrows.
+void write_dot(std::ostream& os, const digraph& g,
+               const std::string& name = "pcn");
+
+/// Plain text: first line "nodes <n>", then one line per active edge:
+/// "<src> <dst> <capacity>".
+void write_edge_list(std::ostream& os, const digraph& g);
+
+/// Parses the write_edge_list format. Throws lcg::error on malformed input.
+[[nodiscard]] digraph read_edge_list(std::istream& is);
+
+}  // namespace lcg::graph
+
+#endif  // LCG_GRAPH_IO_H

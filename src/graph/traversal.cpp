@@ -1,0 +1,84 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lcg::graph {
+
+std::vector<std::int32_t> bfs_distances(const digraph& g, node_id src) {
+  LCG_EXPECTS(g.has_node(src));
+  std::vector<std::int32_t> dist(g.node_count(), unreachable);
+  std::queue<node_id> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const node_id v = frontier.front();
+    frontier.pop();
+    g.for_each_out(v, [&](edge_id, const edge& e) {
+      if (dist[e.dst] == unreachable) {
+        dist[e.dst] = dist[v] + 1;
+        frontier.push(e.dst);
+      }
+    });
+  }
+  return dist;
+}
+
+sp_dag shortest_path_dag(const digraph& g, node_id src) {
+  LCG_EXPECTS(g.has_node(src));
+  const std::size_t n = g.node_count();
+  sp_dag result;
+  result.dist.assign(n, unreachable);
+  result.sigma.assign(n, 0.0);
+  result.pred.assign(n, {});
+  result.order.reserve(n);
+
+  std::queue<node_id> frontier;
+  result.dist[src] = 0;
+  result.sigma[src] = 1.0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const node_id v = frontier.front();
+    frontier.pop();
+    result.order.push_back(v);
+    g.for_each_out(v, [&](edge_id e, const edge& ed) {
+      const node_id w = ed.dst;
+      if (result.dist[w] == unreachable) {
+        result.dist[w] = result.dist[v] + 1;
+        frontier.push(w);
+      }
+      if (result.dist[w] == result.dist[v] + 1) {
+        result.sigma[w] += result.sigma[v];
+        result.pred[w].push_back(e);
+      }
+    });
+  }
+  return result;
+}
+
+std::vector<std::vector<std::int32_t>> all_pairs_distances(const digraph& g) {
+  std::vector<std::vector<std::int32_t>> dist;
+  dist.reserve(g.node_count());
+  for (node_id s = 0; s < g.node_count(); ++s)
+    dist.push_back(bfs_distances(g, s));
+  return dist;
+}
+
+std::vector<node_id> shortest_path(const digraph& g, node_id src,
+                                   node_id dst) {
+  LCG_EXPECTS(g.has_node(src) && g.has_node(dst));
+  const sp_dag dag = shortest_path_dag(g, src);
+  if (dag.dist[dst] == unreachable) return {};
+  std::vector<node_id> path;
+  node_id v = dst;
+  path.push_back(v);
+  while (v != src) {
+    const edge_id e = dag.pred[v].front();
+    v = g.edge_at(e).src;
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lcg::graph

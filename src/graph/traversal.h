@@ -1,0 +1,51 @@
+// Breadth-first shortest paths and shortest-path counting.
+//
+// The paper measures distance in hops (each intermediary charges f^T_avg per
+// hop, II-C), so BFS is the shortest-path engine. `shortest_path_dag` is the
+// Brandes front-end: besides distances it records the number of shortest
+// paths sigma(v) and the shortest-path predecessor DAG, which both the
+// betweenness computation (Eq. 2) and the rate estimator consume.
+
+#ifndef LCG_GRAPH_TRAVERSAL_H
+#define LCG_GRAPH_TRAVERSAL_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace lcg::graph {
+
+/// Distance value for unreachable nodes.
+inline constexpr std::int32_t unreachable = -1;
+
+/// Hop distances from `src` over active edges. dist[src] = 0,
+/// dist[v] = `unreachable` if no path exists.
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const digraph& g,
+                                                      node_id src);
+
+/// Result of a single-source shortest-path-DAG computation.
+struct sp_dag {
+  std::vector<std::int32_t> dist;          // hop distance or `unreachable`
+  std::vector<double> sigma;               // number of shortest paths from src
+  std::vector<std::vector<edge_id>> pred;  // DAG: shortest-path in-edges of v
+  std::vector<node_id> order;              // nodes in non-decreasing distance
+};
+
+/// BFS from `src` computing distances, path counts and the predecessor DAG.
+/// sigma is stored as double: path counts grow exponentially with graph
+/// size and only the ratios sigma_sv/sigma_sw are consumed downstream.
+[[nodiscard]] sp_dag shortest_path_dag(const digraph& g, node_id src);
+
+/// All-pairs hop distances (n BFS runs), dist[s][t].
+[[nodiscard]] std::vector<std::vector<std::int32_t>> all_pairs_distances(
+    const digraph& g);
+
+/// One shortest path (as node sequence, src first) or empty if unreachable.
+[[nodiscard]] std::vector<node_id> shortest_path(const digraph& g, node_id src,
+                                                 node_id dst);
+
+}  // namespace lcg::graph
+
+#endif  // LCG_GRAPH_TRAVERSAL_H

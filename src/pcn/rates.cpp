@@ -1,0 +1,56 @@
+#include "pcn/rates.h"
+
+#include "graph/betweenness.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace lcg::pcn {
+
+rate_result edge_transaction_rates(const graph::digraph& g,
+                                   const dist::demand_model& demand,
+                                   double tx_size) {
+  LCG_EXPECTS(demand.node_count() == g.node_count());
+  rate_result result;
+  result.edge_rate.assign(g.edge_slots(), 0.0);
+
+  const auto compute = [&](const graph::digraph& host,
+                           const std::vector<graph::edge_id>* edge_map) {
+    const graph::betweenness_result b =
+        graph::weighted_betweenness(host, demand.weight_fn());
+    for (graph::edge_id e = 0; e < b.edge.size(); ++e) {
+      const graph::edge_id original = edge_map ? (*edge_map)[e] : e;
+      result.edge_rate[original] = b.edge[e];
+    }
+    // Demand between pairs disconnected in `host` is unroutable.
+    for (graph::node_id s = 0; s < host.node_count(); ++s) {
+      const auto dist_s = graph::bfs_distances(host, s);
+      for (graph::node_id r = 0; r < host.node_count(); ++r) {
+        if (r != s && dist_s[r] == graph::unreachable)
+          result.unroutable_rate += demand.pair_weight(s, r);
+      }
+    }
+  };
+
+  if (tx_size > 0.0) {
+    const graph::subgraph_result reduced =
+        graph::reduced_by_capacity(g, tx_size);
+    compute(reduced.graph, &reduced.original_edge);
+  } else {
+    compute(g, nullptr);
+  }
+  return result;
+}
+
+double node_through_rate(const graph::digraph& g,
+                         const dist::demand_model& demand, graph::node_id v,
+                         double tx_size) {
+  LCG_EXPECTS(demand.node_count() == g.node_count());
+  if (tx_size > 0.0) {
+    const graph::subgraph_result reduced =
+        graph::reduced_by_capacity(g, tx_size);
+    return graph::node_betweenness_of(reduced.graph, v, demand.weight_fn());
+  }
+  return graph::node_betweenness_of(g, v, demand.weight_fn());
+}
+
+}  // namespace lcg::pcn

@@ -1,0 +1,48 @@
+// Transaction-rate estimation (Eq. 2 of the paper).
+//
+// For a directed edge e, the probability that a single transaction uses e is
+//
+//   p_e = sum_{s != r, m(s,r) > 0} me(s,r)/m(s,r) * p_trans(s,r)
+//
+// and the rate is lambda_e = (expected transactions per unit time) * p_e.
+// We fold per-sender rates N_s into the pair weights, so
+// lambda_e = sum_{s,r} N_s * p_trans(s,r) * me(s,r)/m(s,r), which reduces to
+// the paper's N * p_e when all senders share the same rate.
+//
+// When a transaction size x > 0 is supplied, rates are computed on the
+// capacity-reduced subgraph G' (edges with capacity >= x), per II-B; edges
+// dropped from G' get rate 0.
+
+#ifndef LCG_PCN_RATES_H
+#define LCG_PCN_RATES_H
+
+#include <vector>
+
+#include "dist/transaction_dist.h"
+#include "graph/digraph.h"
+
+namespace lcg::pcn {
+
+struct rate_result {
+  /// lambda_e indexed by the edge ids of the *original* graph.
+  std::vector<double> edge_rate;
+  /// Expected number of transactions per unit time that could not be routed
+  /// (their (s, r) pair is disconnected in the reduced subgraph).
+  double unroutable_rate = 0.0;
+};
+
+/// Rates for all directed edges of `g` under `demand`. If tx_size > 0, only
+/// edges with capacity >= tx_size participate in routing.
+[[nodiscard]] rate_result edge_transaction_rates(
+    const graph::digraph& g, const dist::demand_model& demand,
+    double tx_size = 0.0);
+
+/// The rate of transactions *through* node v (v an intermediary), i.e. the
+/// node-betweenness analogue; multiplied by f_avg this is E_rev (Section IV).
+[[nodiscard]] double node_through_rate(const graph::digraph& g,
+                                       const dist::demand_model& demand,
+                                       graph::node_id v, double tx_size = 0.0);
+
+}  // namespace lcg::pcn
+
+#endif  // LCG_PCN_RATES_H

@@ -1,0 +1,79 @@
+#include "sim/engine.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace lcg::sim {
+
+sim_metrics run_simulation(pcn::network& net, workload_generator& workload,
+                           const sim_config& config) {
+  LCG_EXPECTS(config.horizon >= 0.0);
+  sim_metrics metrics;
+  metrics.horizon = config.horizon;
+  const std::size_t n = net.node_count();
+  metrics.fees_earned.assign(n, 0.0);
+  metrics.fees_paid.assign(n, 0.0);
+  metrics.forwarded.assign(n, 0);
+  if (config.track_edge_flows)
+    metrics.edge_flow.assign(net.topology().edge_slots(), 0);
+
+  // Baseline ledgers: the network may have pre-existing fee history.
+  std::vector<double> earned_before(n), paid_before(n);
+  for (graph::node_id v = 0; v < n; ++v) {
+    earned_before[v] = net.fees_earned(v);
+    paid_before[v] = net.fees_paid(v);
+  }
+
+  const pcn::network::balance_snapshot initial = net.snapshot_balances();
+  double next_reset = config.balance_reset_period > 0.0
+                          ? config.balance_reset_period
+                          : std::numeric_limits<double>::infinity();
+  rng router(config.router_seed);
+  rng* tie_breaker = config.random_tie_break ? &router : nullptr;
+  double next_rebalance =
+      config.rebalancing != nullptr && config.rebalance_period > 0.0
+          ? config.rebalance_period
+          : std::numeric_limits<double>::infinity();
+
+  for (;;) {
+    const std::optional<tx_event> ev = workload.next();
+    if (!ev || ev->time >= config.horizon) break;
+    while (ev->time >= next_reset) {
+      net.restore_balances(initial);
+      next_reset += config.balance_reset_period;
+    }
+    while (ev->time >= next_rebalance) {
+      const rebalancing_sweep_stats sweep =
+          rebalancing_sweep(net, *config.rebalancing);
+      metrics.rebalances_triggered += sweep.triggered;
+      metrics.rebalances_succeeded += sweep.succeeded;
+      metrics.rebalance_volume += sweep.volume;
+      next_rebalance += config.rebalance_period;
+    }
+    if (ev->sender == ev->receiver || ev->amount <= 0.0) {
+      ++metrics.infeasible_input;
+      continue;
+    }
+    ++metrics.attempted;
+    metrics.volume_attempted += ev->amount;
+    const pcn::payment_result res = net.execute_payment(
+        ev->sender, ev->receiver, ev->amount, config.fee, tie_breaker);
+    if (!res.ok()) continue;
+    ++metrics.succeeded;
+    metrics.volume_delivered += ev->amount;
+    for (std::size_t i = 1; i + 1 < res.path.size(); ++i)
+      ++metrics.forwarded[res.path[i]];
+    if (config.track_edge_flows) {
+      for (const graph::edge_id e : res.edges) ++metrics.edge_flow[e];
+    }
+  }
+
+  for (graph::node_id v = 0; v < n; ++v) {
+    metrics.fees_earned[v] = net.fees_earned(v) - earned_before[v];
+    metrics.fees_paid[v] = net.fees_paid(v) - paid_before[v];
+  }
+  return metrics;
+}
+
+}  // namespace lcg::sim

@@ -1,0 +1,79 @@
+// Discrete-event PCN simulator.
+//
+// Replays a Poisson workload against a pcn::network, executing each payment
+// over the shortest capacity-feasible path with live balance updates. This
+// is the empirical counterpart of the analytic model: expected revenue
+// (E_rev) and expected fees (E_fees) assume balances never deplete, while
+// the simulator exposes exactly that gap (experiment E15). Balances can
+// optionally be restored to their initial snapshot at a fixed period,
+// interpolating between "no depletion" (tiny period) and fully dynamic
+// balances (period off).
+
+#ifndef LCG_SIM_ENGINE_H
+#define LCG_SIM_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/fee.h"
+#include "pcn/network.h"
+#include "sim/rebalancing.h"
+#include "sim/workload.h"
+
+namespace lcg::sim {
+
+struct sim_config {
+  double horizon = 100.0;           ///< simulated time units
+  const dist::fee_function* fee = nullptr;  ///< per-intermediary fee; may be null
+  double balance_reset_period = 0.0;  ///< > 0: restore balances periodically
+  bool track_edge_flows = false;
+  /// Sample uniformly among tied shortest paths (matching the analytic
+  /// m_e/m split of Eq. 2) instead of deterministic first-found routing.
+  bool random_tie_break = true;
+  std::uint64_t router_seed = 0x9047e5eedULL;
+  /// Non-null: run a rebalancing sweep every `rebalance_period` time units
+  /// (circular self-payments per [30]; see sim/rebalancing.h).
+  const rebalancing_policy* rebalancing = nullptr;
+  double rebalance_period = 10.0;
+};
+
+struct sim_metrics {
+  std::uint64_t attempted = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t infeasible_input = 0;  ///< sender==receiver / zero amount
+  double volume_attempted = 0.0;
+  double volume_delivered = 0.0;
+  double horizon = 0.0;
+
+  std::vector<double> fees_earned;  ///< per node, over the whole run
+  std::vector<double> fees_paid;
+  std::vector<std::uint64_t> forwarded;  ///< per node: payments forwarded
+  std::vector<std::uint64_t> edge_flow;  ///< per edge id (if tracked)
+
+  std::uint64_t rebalances_triggered = 0;
+  std::uint64_t rebalances_succeeded = 0;
+  double rebalance_volume = 0.0;
+
+  double success_rate() const noexcept {
+    return attempted ? static_cast<double>(succeeded) /
+                           static_cast<double>(attempted)
+                     : 0.0;
+  }
+  /// Fee revenue of `v` per unit time — comparable to E_rev.
+  double revenue_rate(graph::node_id v) const {
+    return horizon > 0.0 ? fees_earned[v] / horizon : 0.0;
+  }
+  /// Fees paid by `v` per unit time — comparable to E_fees.
+  double fee_rate(graph::node_id v) const {
+    return horizon > 0.0 ? fees_paid[v] / horizon : 0.0;
+  }
+};
+
+/// Runs the workload against the network (mutating balances and ledgers).
+[[nodiscard]] sim_metrics run_simulation(pcn::network& net,
+                                         workload_generator& workload,
+                                         const sim_config& config);
+
+}  // namespace lcg::sim
+
+#endif  // LCG_SIM_ENGINE_H

@@ -1,0 +1,97 @@
+#include "sim/estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lcg::sim {
+
+namespace {
+
+demand_estimate estimate_impl(const std::vector<tx_event>& log,
+                              std::size_t node_count, double horizon,
+                              double alpha) {
+  LCG_EXPECTS(horizon > 0.0);
+  demand_estimate est;
+  est.horizon = horizon;
+  est.sender_rate.assign(node_count, 0.0);
+  est.receiver_p.assign(node_count, std::vector<double>(node_count, 0.0));
+
+  std::vector<std::vector<double>> counts(
+      node_count, std::vector<double>(node_count, 0.0));
+  std::vector<double> sent(node_count, 0.0);
+  for (const tx_event& ev : log) {
+    if (ev.sender == ev.receiver) continue;
+    LCG_EXPECTS(ev.sender < node_count && ev.receiver < node_count);
+    counts[ev.sender][ev.receiver] += 1.0;
+    sent[ev.sender] += 1.0;
+    ++est.observations;
+  }
+
+  for (std::size_t u = 0; u < node_count; ++u) {
+    est.sender_rate[u] = sent[u] / horizon;
+    est.total_rate += est.sender_rate[u];
+    // Laplace smoothing over the n-1 admissible receivers.
+    const double denom =
+        sent[u] + alpha * static_cast<double>(node_count - 1);
+    for (std::size_t v = 0; v < node_count; ++v) {
+      if (v == u) continue;
+      if (denom > 0.0) {
+        est.receiver_p[u][v] = (counts[u][v] + alpha) / denom;
+      } else {
+        // Unseen sender, no smoothing: uniform zero-information prior.
+        est.receiver_p[u][v] = 1.0 / static_cast<double>(node_count - 1);
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace
+
+demand_estimate estimate_demand(const std::vector<tx_event>& log,
+                                std::size_t node_count, double horizon) {
+  return estimate_impl(log, node_count, horizon, 0.0);
+}
+
+demand_estimate estimate_demand_smoothed(const std::vector<tx_event>& log,
+                                         std::size_t node_count,
+                                         double horizon, double alpha) {
+  LCG_EXPECTS(alpha >= 0.0);
+  return estimate_impl(log, node_count, horizon, alpha);
+}
+
+estimation_error compare_to_truth(const demand_estimate& estimate,
+                                  const dist::demand_model& truth) {
+  LCG_EXPECTS(estimate.sender_rate.size() == truth.node_count());
+  estimation_error err;
+  const std::size_t n = truth.node_count();
+  double rate_sum = 0.0, tv_sum = 0.0;
+  for (graph::node_id u = 0; u < n; ++u) {
+    const double rate_err =
+        std::abs(estimate.sender_rate[u] - truth.sender_rate(u));
+    err.max_rate_abs_error = std::max(err.max_rate_abs_error, rate_err);
+    rate_sum += rate_err;
+    double tv = 0.0;
+    for (graph::node_id v = 0; v < n; ++v) {
+      if (v == u) continue;
+      tv += std::abs(estimate.receiver_p[u][v] - truth.pair_probability(u, v));
+    }
+    tv /= 2.0;
+    err.max_row_tv_distance = std::max(err.max_row_tv_distance, tv);
+    tv_sum += tv;
+  }
+  err.mean_rate_abs_error = rate_sum / static_cast<double>(n);
+  err.mean_row_tv_distance = tv_sum / static_cast<double>(n);
+  return err;
+}
+
+dist::demand_model to_demand_model(const demand_estimate& estimate,
+                                   const graph::digraph& g) {
+  LCG_EXPECTS(estimate.receiver_p.size() == g.node_count());
+  const dist::matrix_transaction_distribution matrix(estimate.receiver_p);
+  return dist::demand_model(g, matrix, estimate.sender_rate);
+}
+
+}  // namespace lcg::sim

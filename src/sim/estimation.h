@@ -1,0 +1,62 @@
+// Empirical parameter estimation from observed transactions.
+//
+// The paper's final future-work item: "developing more accurate methods for
+// estimating these parameters [the average total number of transactions and
+// the average number of transactions sent out by each user] may be
+// helpful". The utility model consumes exactly three empirical quantities —
+// per-sender rates N_u, the receiver distribution p_trans(u, .), and the
+// per-edge rates lambda_e — and all three are estimable from a transaction
+// log. This module provides the estimators plus error metrics against a
+// known ground-truth demand model, so convergence with observation horizon
+// can be measured (tests + the sim_vs_analytic bench).
+
+#ifndef LCG_SIM_ESTIMATION_H
+#define LCG_SIM_ESTIMATION_H
+
+#include <vector>
+
+#include "dist/transaction_dist.h"
+#include "sim/workload.h"
+
+namespace lcg::sim {
+
+struct demand_estimate {
+  double horizon = 0.0;
+  std::uint64_t observations = 0;
+  std::vector<double> sender_rate;             // N_u per unit time
+  std::vector<std::vector<double>> receiver_p; // rows: p_trans(u, .)
+  double total_rate = 0.0;
+};
+
+/// Maximum-likelihood estimates from a transaction log observed over
+/// `horizon` time units: N_u = count_u / horizon, p_trans(u, v) =
+/// count_{u -> v} / count_u. Rows of unseen senders are left uniform over
+/// the other nodes (the zero-information prior).
+[[nodiscard]] demand_estimate estimate_demand(
+    const std::vector<tx_event>& log, std::size_t node_count, double horizon);
+
+/// Laplace-smoothed variant: adds `alpha` pseudo-observations per receiver,
+/// stabilising rows of rarely-seen senders.
+[[nodiscard]] demand_estimate estimate_demand_smoothed(
+    const std::vector<tx_event>& log, std::size_t node_count, double horizon,
+    double alpha);
+
+struct estimation_error {
+  double max_rate_abs_error = 0.0;  // max_u |N_u_hat - N_u|
+  double mean_rate_abs_error = 0.0;
+  double max_row_tv_distance = 0.0;  // max_u TV(p_hat(u,.), p(u,.))
+  double mean_row_tv_distance = 0.0;
+};
+
+/// Error of an estimate against the true demand model (total-variation
+/// distance per receiver row; absolute error per sender rate).
+[[nodiscard]] estimation_error compare_to_truth(
+    const demand_estimate& estimate, const dist::demand_model& truth);
+
+/// Builds a demand_model usable by the analytic machinery from an estimate.
+[[nodiscard]] dist::demand_model to_demand_model(
+    const demand_estimate& estimate, const graph::digraph& g);
+
+}  // namespace lcg::sim
+
+#endif  // LCG_SIM_ESTIMATION_H

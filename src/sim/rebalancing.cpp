@@ -1,0 +1,99 @@
+#include "sim/rebalancing.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace lcg::sim {
+
+rebalance_result rebalance_channel(pcn::network& net, pcn::channel_id id,
+                                   graph::node_id beneficiary, double amount,
+                                   std::size_t max_cycle_len) {
+  rebalance_result result;
+  if (amount <= 0.0) return result;
+  const pcn::channel& ch = net.channel_at(id);
+  LCG_EXPECTS(ch.open);
+  LCG_EXPECTS(beneficiary == ch.party_a || beneficiary == ch.party_b);
+  const graph::node_id counterparty =
+      beneficiary == ch.party_a ? ch.party_b : ch.party_a;
+  // Return edge: counterparty -> beneficiary over this very channel; the
+  // counterparty's balance must cover the inflow.
+  const graph::edge_id return_edge =
+      beneficiary == ch.party_a ? ch.edge_ba : ch.edge_ab;
+  const graph::digraph& g = net.topology();
+  if (g.edge_at(return_edge).capacity < amount) return result;
+
+  // Shortest feasible path beneficiary -> counterparty avoiding both of the
+  // channel's own edges (BFS, bounded depth).
+  const graph::edge_id avoid_a = ch.edge_ab;
+  const graph::edge_id avoid_b = ch.edge_ba;
+  std::vector<graph::edge_id> parent(g.node_count(), graph::invalid_edge);
+  std::vector<std::int32_t> depth(g.node_count(), -1);
+  std::queue<graph::node_id> frontier;
+  depth[beneficiary] = 0;
+  frontier.push(beneficiary);
+  while (!frontier.empty() && depth[counterparty] < 0) {
+    const graph::node_id v = frontier.front();
+    frontier.pop();
+    if (static_cast<std::size_t>(depth[v]) + 1 >= max_cycle_len) continue;
+    g.for_each_out(v, [&](graph::edge_id e, const graph::edge& ed) {
+      if (e == avoid_a || e == avoid_b) return;
+      if (depth[ed.dst] >= 0 || ed.capacity < amount) return;
+      depth[ed.dst] = depth[v] + 1;
+      parent[ed.dst] = e;
+      frontier.push(ed.dst);
+    });
+  }
+  if (depth[counterparty] < 0) return result;
+
+  std::vector<graph::edge_id> route;
+  for (graph::node_id v = counterparty; v != beneficiary;
+       v = g.edge_at(parent[v]).src) {
+    route.push_back(parent[v]);
+  }
+  std::reverse(route.begin(), route.end());
+  route.push_back(return_edge);
+
+  const pcn::payment_result payment =
+      net.execute_route(beneficiary, route, amount);
+  if (!payment.ok()) return result;  // raced capacity change; untouched
+  result.success = true;
+  result.amount = amount;
+  result.cycle_length = route.size();
+  return result;
+}
+
+rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
+                                          const rebalancing_policy& policy) {
+  LCG_EXPECTS(policy.low_watermark >= 0.0 &&
+              policy.low_watermark <= policy.target);
+  LCG_EXPECTS(policy.target <= 1.0);
+  rebalancing_sweep_stats stats;
+  // Channel set snapshot: rebalancing shifts balances but never opens or
+  // closes channels, so iterating by id is stable.
+  const std::size_t channel_count = net.channel_count();
+  std::size_t seen = 0;
+  for (pcn::channel_id id = 0; seen < channel_count; ++id) {
+    const pcn::channel& ch = net.channel_at(id);
+    if (!ch.open) continue;
+    ++seen;
+    const double capacity = ch.total_capacity();
+    if (capacity <= 0.0) continue;
+    for (const graph::node_id side : {ch.party_a, ch.party_b}) {
+      const double balance = net.balance_of(id, side);
+      if (balance >= policy.low_watermark * capacity) continue;
+      ++stats.triggered;
+      const double want = policy.target * capacity - balance;
+      const rebalance_result r =
+          rebalance_channel(net, id, side, want, policy.max_cycle_len);
+      if (r.success) {
+        ++stats.succeeded;
+        stats.volume += r.amount;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace lcg::sim

@@ -1,0 +1,58 @@
+// Off-chain channel rebalancing (circular self-payments).
+//
+// Section IV motivates stability results partly through "finding off-chain
+// rebalancing cycles for existing users to replenish depleted channels",
+// citing Hide & Seek [30]. The mechanism: when a node u's balance on channel
+// (u, v) runs low, u routes a payment *to itself* — out through a funded
+// channel, around the network, and back in over (v, u) — shifting its own
+// liquidity into the depleted channel without touching the chain.
+//
+// This module finds such cycles (shortest feasible loop avoiding the
+// depleted channel, closed by its (v, u) edge) and applies them, plus a
+// watermark policy the simulator can run periodically. Rebalancing is
+// modelled as fee-free, per the cooperative setting of [30].
+
+#ifndef LCG_SIM_REBALANCING_H
+#define LCG_SIM_REBALANCING_H
+
+#include <cstdint>
+
+#include "pcn/network.h"
+
+namespace lcg::sim {
+
+struct rebalance_result {
+  bool success = false;
+  double amount = 0.0;        // liquidity actually shifted
+  std::size_t cycle_length = 0;  // hops in the circular route (incl. return)
+};
+
+/// Shifts `amount` of `beneficiary`'s liquidity into channel `id` (must be
+/// an endpoint): finds a shortest cycle beneficiary -> ... -> counterparty
+/// -> beneficiary avoiding the channel's own outgoing edge, every hop with
+/// capacity >= amount. Returns failure (network untouched) if no such cycle
+/// of length <= max_cycle_len exists.
+[[nodiscard]] rebalance_result rebalance_channel(
+    pcn::network& net, pcn::channel_id id, graph::node_id beneficiary,
+    double amount, std::size_t max_cycle_len = 8);
+
+struct rebalancing_policy {
+  double low_watermark = 0.25;  ///< trigger when side < low * capacity
+  double target = 0.5;          ///< rebalance toward this fraction
+  std::size_t max_cycle_len = 8;
+};
+
+struct rebalancing_sweep_stats {
+  std::uint64_t triggered = 0;   // depleted channel sides found
+  std::uint64_t succeeded = 0;   // cycles executed
+  double volume = 0.0;           // total liquidity shifted
+};
+
+/// One policy sweep over all open channels: every side below the watermark
+/// attempts a rebalance up to the target fraction.
+rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
+                                          const rebalancing_policy& policy);
+
+}  // namespace lcg::sim
+
+#endif  // LCG_SIM_REBALANCING_H

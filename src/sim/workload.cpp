@@ -1,0 +1,59 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace lcg::sim {
+
+workload_generator::workload_generator(const dist::demand_model& demand,
+                                       const dist::tx_size_distribution& sizes,
+                                       std::uint64_t seed)
+    : demand_(demand),
+      sizes_(sizes),
+      gen_(seed),
+      total_rate_(demand.total_rate()) {
+  const std::size_t n = demand.node_count();
+  if (total_rate_ > 0.0) {
+    std::vector<double> rates(n);
+    for (graph::node_id s = 0; s < n; ++s) rates[s] = demand.sender_rate(s);
+    sender_table_.emplace(rates);
+  }
+  receiver_tables_.resize(n);
+}
+
+std::optional<tx_event> workload_generator::next() {
+  if (total_rate_ <= 0.0) return std::nullopt;
+  clock_ += gen_.exponential(total_rate_);
+  const auto sender =
+      static_cast<graph::node_id>(sender_table_->sample(gen_));
+  auto& table = receiver_tables_[sender];
+  if (!table) {
+    const std::vector<double>& row = demand_.probability_row(sender);
+    const double row_sum = std::accumulate(row.begin(), row.end(), 0.0);
+    if (row_sum <= 0.0) {
+      // A sender with no admissible receiver: emit a no-op self event; the
+      // engine drops it (counted as infeasible input, not a routing failure).
+      return tx_event{clock_, sender, sender, 0.0};
+    }
+    table.emplace(row);
+  }
+  const auto receiver = static_cast<graph::node_id>(table->sample(gen_));
+  return tx_event{clock_, sender, receiver, sizes_.sample(gen_)};
+}
+
+std::vector<tx_event> workload_generator::generate(double horizon) {
+  LCG_EXPECTS(horizon >= 0.0);
+  std::vector<tx_event> events;
+  if (total_rate_ <= 0.0) return events;
+  events.reserve(static_cast<std::size_t>(total_rate_ * horizon * 1.1) + 16);
+  for (;;) {
+    const std::optional<tx_event> ev = next();
+    if (!ev || ev->time >= horizon) break;
+    events.push_back(*ev);
+  }
+  return events;
+}
+
+}  // namespace lcg::sim

@@ -1,0 +1,55 @@
+// Theorem 6: the longest shortest path through a hub in a stable network.
+//
+// For a stable network (no profitable chord creation), if P = (v0 .. vd) is
+// the longest shortest path containing hub h, then creating the chord
+// e = (v_{floor(d/2)-1}, v_{floor(d/2)+1}) must not pay off:
+//
+//   (C + eps)/2 >= lambda_e * f + N * p_min * f * floor(d/2)     (premise)
+//
+// which rearranges to the diameter-style bound
+//
+//   d <= 2 * ((C + eps)/2 - lambda_e * f) / (p_min * N * f) + 1.
+//
+// `analyze_hub_path` measures every ingredient on an actual network + demand
+// model: the hub, the path, lambda_e (rate the chord would carry, Eq. 2 on
+// the graph with the chord added, min over the two directions), p_min (the
+// smallest p_trans over pairs straddling the chord along P), the bound, and
+// whether premise and bound hold.
+
+#ifndef LCG_TOPOLOGY_DIAMETER_BOUND_H
+#define LCG_TOPOLOGY_DIAMETER_BOUND_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/transaction_dist.h"
+#include "graph/digraph.h"
+
+namespace lcg::topology {
+
+struct hub_path_analysis {
+  graph::node_id hub = graph::invalid_node;
+  std::vector<graph::node_id> path;  // one longest shortest path through hub
+  std::int32_t d = 0;                // its length (hops)
+  double lambda_e = 0.0;             // min-direction rate of the mid chord
+  double p_min = 0.0;                // min straddling pair probability
+  double bound = 0.0;                // the Theorem 6 RHS
+  bool premise_holds = false;        // chord creation not profitable
+  bool bound_holds = false;          // d <= bound
+};
+
+/// `fee` is the routing fee f; `channel_cost` is C; eps the paper's epsilon.
+/// The hub defaults to the maximum-degree node; pass a node id to override.
+[[nodiscard]] hub_path_analysis analyze_hub_path(
+    const graph::digraph& g, const dist::demand_model& demand, double fee,
+    double channel_cost, double eps = 0.0,
+    graph::node_id hub = graph::invalid_node);
+
+/// The bare Theorem 6 bound from its ingredients.
+[[nodiscard]] double theorem6_bound(double channel_cost, double eps,
+                                    double lambda_e, double fee, double p_min,
+                                    double total_rate);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_DIAMETER_BOUND_H

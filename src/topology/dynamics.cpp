@@ -1,0 +1,81 @@
+#include "topology/dynamics.h"
+
+#include <set>
+
+namespace lcg::topology {
+
+std::uint64_t topology_fingerprint(const graph::digraph& g) {
+  // Hash the sorted multiset of active directed edges (FNV-1a over pairs).
+  std::set<std::pair<graph::node_id, graph::node_id>> edges;
+  for (graph::edge_id e = 0; e < g.edge_slots(); ++e) {
+    if (!g.edge_active(e)) continue;
+    const graph::edge& ed = g.edge_at(e);
+    edges.emplace(ed.src, ed.dst);
+  }
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(g.node_count());
+  for (const auto& [a, b] : edges) {
+    mix(a);
+    mix(b);
+  }
+  return h;
+}
+
+namespace {
+
+/// Applies `dev` to `g` in place (channels as bidirectional edge pairs).
+void apply_deviation(graph::digraph& g, const deviation& dev) {
+  for (const graph::node_id peer : dev.removed_peers) {
+    const graph::edge_id forward = g.find_edge(dev.deviator, peer);
+    const graph::edge_id reverse = g.find_edge(peer, dev.deviator);
+    LCG_EXPECTS(forward != graph::invalid_edge &&
+                reverse != graph::invalid_edge);
+    g.remove_edge(forward);
+    g.remove_edge(reverse);
+  }
+  for (const graph::node_id peer : dev.added_peers) {
+    g.add_bidirectional(dev.deviator, peer);
+  }
+}
+
+}  // namespace
+
+dynamics_result best_response_dynamics(const graph::digraph& start,
+                                       const game_params& params,
+                                       const dynamics_options& options) {
+  params.validate();
+  dynamics_result result;
+  result.final_graph = start;
+  std::set<std::uint64_t> seen{topology_fingerprint(start)};
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    bool any_move = false;
+    for (graph::node_id u = 0; u < result.final_graph.node_count(); ++u) {
+      const std::optional<deviation> dev =
+          best_deviation(result.final_graph, u, params, options.limits,
+                         options.improvement_tolerance);
+      if (!dev) continue;
+      any_move = true;
+      apply_deviation(result.final_graph, *dev);
+      result.applied.push_back(*dev);
+    }
+    if (!any_move) {
+      result.outcome = dynamics_outcome::converged;
+      return result;
+    }
+    const std::uint64_t fp = topology_fingerprint(result.final_graph);
+    if (!seen.insert(fp).second) {
+      result.outcome = dynamics_outcome::cycled;
+      return result;
+    }
+  }
+  result.outcome = dynamics_outcome::round_cap;
+  return result;
+}
+
+}  // namespace lcg::topology

@@ -1,0 +1,57 @@
+// Best-response dynamics.
+//
+// Section IV-B restricts the stability analysis to simple topologies
+// because computing Nash equilibria of the general game via best-response
+// dynamics is NP-hard (Theorem 2 of [19]). For *small* networks the
+// dynamics are still computable and instructive: starting from an arbitrary
+// topology, players take turns applying their best unilateral deviation
+// until no one can improve. This module implements that iteration — the
+// experiment harness uses it to watch which topologies emerge (the paper's
+// analysis predicts star-like outcomes under concentrated Zipf demand).
+//
+// Termination: the game has no potential function, so the dynamics may
+// cycle; a round cap plus a seen-state set (graph fingerprints) detects
+// cycles and reports them instead of spinning.
+
+#ifndef LCG_TOPOLOGY_DYNAMICS_H
+#define LCG_TOPOLOGY_DYNAMICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/nash.h"
+
+namespace lcg::topology {
+
+struct dynamics_options {
+  std::size_t max_rounds = 64;  ///< full passes over all players
+  deviation_limits limits;      ///< per-player deviation enumeration caps
+  double improvement_tolerance = 1e-9;
+};
+
+enum class dynamics_outcome {
+  converged,  // a full pass found no improving deviation: Nash equilibrium
+  cycled,     // a previously seen topology reappeared
+  round_cap,  // max_rounds exhausted
+};
+
+struct dynamics_result {
+  graph::digraph final_graph;
+  dynamics_outcome outcome = dynamics_outcome::round_cap;
+  std::size_t rounds = 0;
+  std::vector<deviation> applied;  // the deviations taken, in order
+};
+
+/// Runs sequential best-response dynamics from `start` (players move in
+/// node-id order; each applies its best improving deviation, if any).
+[[nodiscard]] dynamics_result best_response_dynamics(
+    const graph::digraph& start, const game_params& params,
+    const dynamics_options& options = {});
+
+/// Order-independent fingerprint of a topology's channel set (used for
+/// cycle detection; exposed for tests).
+[[nodiscard]] std::uint64_t topology_fingerprint(const graph::digraph& g);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_DYNAMICS_H

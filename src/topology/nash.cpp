@@ -1,0 +1,140 @@
+#include "topology/nash.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/enumeration.h"
+
+namespace lcg::topology {
+
+std::string deviation::describe() const {
+  std::ostringstream os;
+  os << "node " << deviator;
+  if (!removed_peers.empty()) {
+    os << " removes {";
+    for (std::size_t i = 0; i < removed_peers.size(); ++i)
+      os << (i ? "," : "") << removed_peers[i];
+    os << "}";
+  }
+  if (!added_peers.empty()) {
+    os << " adds {";
+    for (std::size_t i = 0; i < added_peers.size(); ++i)
+      os << (i ? "," : "") << added_peers[i];
+    os << "}";
+  }
+  os << " gain " << gain();
+  return os.str();
+}
+
+double deviated_utility(const graph::digraph& g, const deviation& dev,
+                        const game_params& params) {
+  graph::digraph work = g;  // copy
+  // Remove each named channel (both directed edges).
+  for (const graph::node_id peer : dev.removed_peers) {
+    const graph::edge_id forward = work.find_edge(dev.deviator, peer);
+    const graph::edge_id reverse = work.find_edge(peer, dev.deviator);
+    LCG_EXPECTS(forward != graph::invalid_edge &&
+                reverse != graph::invalid_edge);
+    work.remove_edge(forward);
+    work.remove_edge(reverse);
+  }
+  for (const graph::node_id peer : dev.added_peers) {
+    work.add_bidirectional(dev.deviator, peer);
+  }
+  return node_utility(work, dev.deviator, params).total;
+}
+
+namespace {
+
+std::optional<deviation> best_deviation_impl(
+    const graph::digraph& g, graph::node_id u, const game_params& params,
+    const deviation_limits& limits, double improvement_tolerance,
+    std::uint64_t& checked_out, bool& truncated_out) {
+  const double base = node_utility(g, u, params).total;
+
+  // Incident peers (distinct) and unconnected others.
+  const std::vector<graph::node_id> peers = g.out_neighbors(u);
+  std::vector<graph::node_id> others;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (v == u) continue;
+    if (std::find(peers.begin(), peers.end(), v) == peers.end())
+      others.push_back(v);
+  }
+
+  std::optional<deviation> best;
+  std::uint64_t checked = 0;
+  const std::size_t remove_cap = std::min(limits.max_removed, peers.size());
+  const std::size_t add_cap = std::min(limits.max_added, others.size());
+
+  for (std::size_t nr = 0; nr <= remove_cap; ++nr) {
+    for_each_subset_of_size(
+        peers.size(), nr, [&](const std::vector<std::size_t>& rm) {
+          std::vector<graph::node_id> removed;
+          removed.reserve(rm.size());
+          for (const std::size_t i : rm) removed.push_back(peers[i]);
+          for (std::size_t na = 0; na <= add_cap; ++na) {
+            bool keep_going = true;
+            for_each_subset_of_size(
+                others.size(), na, [&](const std::vector<std::size_t>& ad) {
+                  if (checked >= limits.max_deviations_per_node) {
+                    keep_going = false;
+                    return false;
+                  }
+                  if (removed.empty() && ad.empty()) return true;  // identity
+                  deviation dev;
+                  dev.deviator = u;
+                  dev.removed_peers = removed;
+                  for (const std::size_t i : ad)
+                    dev.added_peers.push_back(others[i]);
+                  dev.utility_before = base;
+                  dev.utility_after = deviated_utility(g, dev, params);
+                  ++checked;
+                  if (dev.gain() > improvement_tolerance &&
+                      (!best || dev.gain() > best->gain())) {
+                    best = dev;
+                  }
+                  return true;
+                });
+            if (!keep_going) return false;
+          }
+          return true;
+        });
+    if (checked >= limits.max_deviations_per_node) break;
+  }
+  checked_out += checked;
+  if (checked >= limits.max_deviations_per_node) truncated_out = true;
+  return best;
+}
+
+}  // namespace
+
+std::optional<deviation> best_deviation(const graph::digraph& g,
+                                        graph::node_id u,
+                                        const game_params& params,
+                                        const deviation_limits& limits,
+                                        double improvement_tolerance) {
+  std::uint64_t checked = 0;
+  bool truncated = false;
+  return best_deviation_impl(g, u, params, limits, improvement_tolerance,
+                             checked, truncated);
+}
+
+nash_check_result check_nash_equilibrium(const graph::digraph& g,
+                                         const game_params& params,
+                                         const deviation_limits& limits,
+                                         double improvement_tolerance) {
+  nash_check_result result;
+  for (graph::node_id u = 0; u < g.node_count(); ++u) {
+    const std::optional<deviation> dev =
+        best_deviation_impl(g, u, params, limits, improvement_tolerance,
+                            result.deviations_checked, result.truncated);
+    if (dev) {
+      result.is_equilibrium = false;
+      if (!result.witness || dev->gain() > result.witness->gain())
+        result.witness = dev;
+    }
+  }
+  return result;
+}
+
+}  // namespace lcg::topology

@@ -1,0 +1,72 @@
+// Generic Nash-equilibrium checking by unilateral-deviation enumeration.
+//
+// A deviation of node u removes a subset of u's incident channels and adds
+// channels to a subset of the currently unconnected nodes; the deviated
+// graph is rebuilt and u's utility recomputed (with full Zipf re-ranking).
+// Computing best responses on general graphs is NP-hard (Theorem 2 of [19],
+// cited in Section IV-B), so exhaustive checking is reserved for small n;
+// `deviation_limits` restricts the enumerated family sizes for larger
+// graphs, trading completeness for cost (a restricted check can prove
+// *instability* but only suggests stability).
+
+#ifndef LCG_TOPOLOGY_NASH_H
+#define LCG_TOPOLOGY_NASH_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/game.h"
+
+namespace lcg::topology {
+
+struct deviation {
+  graph::node_id deviator = graph::invalid_node;
+  std::vector<graph::node_id> removed_peers;  // channels to drop
+  std::vector<graph::node_id> added_peers;    // channels to create
+  double utility_before = 0.0;
+  double utility_after = 0.0;
+
+  double gain() const noexcept { return utility_after - utility_before; }
+  std::string describe() const;
+};
+
+struct deviation_limits {
+  std::size_t max_removed = static_cast<std::size_t>(-1);
+  std::size_t max_added = static_cast<std::size_t>(-1);
+  /// Upper bound on enumerated deviations per node (safety valve).
+  std::uint64_t max_deviations_per_node = 1u << 22;
+};
+
+struct nash_check_result {
+  bool is_equilibrium = true;
+  /// Most profitable deviation found (present iff !is_equilibrium).
+  std::optional<deviation> witness;
+  std::uint64_t deviations_checked = 0;
+  bool truncated = false;  // hit max_deviations_per_node somewhere
+};
+
+/// Applies a deviation to a copy of `g` and returns the deviator's utility.
+[[nodiscard]] double deviated_utility(const graph::digraph& g,
+                                      const deviation& dev,
+                                      const game_params& params);
+
+/// Checks whether any node has an improving unilateral deviation.
+/// `improvement_tolerance` guards against counting float noise as a
+/// profitable deviation.
+[[nodiscard]] nash_check_result check_nash_equilibrium(
+    const graph::digraph& g, const game_params& params,
+    const deviation_limits& limits = {},
+    double improvement_tolerance = 1e-9);
+
+/// Best deviation of a single node (exhaustive within limits); nullopt when
+/// no improving deviation exists.
+[[nodiscard]] std::optional<deviation> best_deviation(
+    const graph::digraph& g, graph::node_id u, const game_params& params,
+    const deviation_limits& limits = {},
+    double improvement_tolerance = 1e-9);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_NASH_H

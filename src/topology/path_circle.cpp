@@ -1,0 +1,68 @@
+#include "topology/path_circle.h"
+
+#include "graph/generators.h"
+
+namespace lcg::topology {
+
+std::optional<deviation> path_endpoint_deviation(std::size_t n,
+                                                 const game_params& params) {
+  LCG_EXPECTS(n >= 2);
+  params.validate();
+  const graph::digraph g = graph::path_graph(n);
+  const graph::node_id endpoint = 0;
+  const double base = node_utility(g, endpoint, params).total;
+
+  std::optional<deviation> best;
+  for (graph::node_id target = 2; target < n; ++target) {
+    deviation dev;
+    dev.deviator = endpoint;
+    dev.removed_peers = {1};
+    dev.added_peers = {target};
+    dev.utility_before = base;
+    dev.utility_after = deviated_utility(g, dev, params);
+    if (dev.gain() > 1e-12 && (!best || dev.gain() > best->gain()))
+      best = dev;
+  }
+  return best;
+}
+
+bool path_is_nash(std::size_t n, const game_params& params,
+                  const deviation_limits& limits) {
+  const graph::digraph g = graph::path_graph(n);
+  return check_nash_equilibrium(g, params, limits).is_equilibrium;
+}
+
+circle_chord_report circle_chord_gain(std::size_t n,
+                                      const game_params& params) {
+  LCG_EXPECTS(n >= 4);
+  params.validate();
+  const graph::digraph g = graph::cycle_graph(n);
+  const graph::node_id u = 0;
+  const auto opposite = static_cast<graph::node_id>(n / 2);
+
+  circle_chord_report report;
+  const utility_breakdown before = node_utility(g, u, params);
+  graph::digraph chord = g;
+  chord.add_bidirectional(u, opposite);
+  const utility_breakdown after = node_utility(chord, u, params);
+
+  report.utility_default = before.total;
+  report.utility_chord = after.total;
+  report.gain = after.total - before.total;
+  report.revenue_default = before.revenue;
+  report.revenue_chord = after.revenue;
+  report.fees_default = before.fees;
+  report.fees_chord = after.fees;
+  return report;
+}
+
+std::optional<std::size_t> circle_first_unstable_n(std::size_t lo,
+                                                   std::size_t hi,
+                                                   const game_params& params) {
+  for (std::size_t n = std::max<std::size_t>(lo, 4); n <= hi; ++n) {
+    if (circle_chord_gain(n, params).gain > 1e-12) return n;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lcg::topology

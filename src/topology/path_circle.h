@@ -1,0 +1,58 @@
+// Path and circle topologies (Theorems 10 and 11).
+//
+// Theorem 10: a path is never a Nash equilibrium (for n >= 3) — an endpoint
+// strictly gains by re-attaching its single channel to an interior node:
+// its revenue stays 0, its channel cost is unchanged, and its expected fees
+// strictly drop. `path_endpoint_deviation` exhibits the witness.
+//
+// Theorem 11: a circle of n+1 nodes stops being a Nash equilibrium once n
+// exceeds a threshold n0: connecting to the opposite node raises revenue
+// from ~ b*n/4 to ~ b*n*(5/16) and cuts fee exposure, eventually
+// outweighing the extra channel cost. `circle_chord_gain` computes the
+// exact gain; `circle_first_unstable_n` locates n0.
+
+#ifndef LCG_TOPOLOGY_PATH_CIRCLE_H
+#define LCG_TOPOLOGY_PATH_CIRCLE_H
+
+#include <cstddef>
+#include <optional>
+
+#include "topology/nash.h"
+
+namespace lcg::topology {
+
+/// The Theorem-10 witness: endpoint 0 of an n-node path rewires its channel
+/// from node 1 to interior node `target`. Returns the best such deviation
+/// (the one maximising gain), or nullopt when no rewiring improves (only
+/// possible for degenerate n <= 2).
+[[nodiscard]] std::optional<deviation> path_endpoint_deviation(
+    std::size_t n, const game_params& params);
+
+/// True iff the n-node path admits no improving unilateral deviation at all
+/// (exhaustive check; intended for small n).
+[[nodiscard]] bool path_is_nash(std::size_t n, const game_params& params,
+                                const deviation_limits& limits = {});
+
+/// Utility gain for a node of an n-node circle that adds a chord to the
+/// node diametrically opposite (distance floor(n/2)). Positive gain
+/// contradicts equilibrium.
+struct circle_chord_report {
+  double utility_default = 0.0;
+  double utility_chord = 0.0;
+  double gain = 0.0;
+  double revenue_default = 0.0;
+  double revenue_chord = 0.0;
+  double fees_default = 0.0;
+  double fees_chord = 0.0;
+};
+[[nodiscard]] circle_chord_report circle_chord_gain(std::size_t n,
+                                                    const game_params& params);
+
+/// Smallest circle size n in [lo, hi] whose opposite-chord deviation gains;
+/// nullopt if none in range (Theorem 11 guarantees existence for large n).
+[[nodiscard]] std::optional<std::size_t> circle_first_unstable_n(
+    std::size_t lo, std::size_t hi, const game_params& params);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_PATH_CIRCLE_H

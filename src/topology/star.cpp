@@ -1,0 +1,174 @@
+#include "topology/star.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/error.h"
+#include "util/harmonic.h"
+
+namespace lcg::topology {
+
+star_condition_report star_ne_conditions(std::size_t leaves,
+                                         const game_params& params) {
+  LCG_EXPECTS(leaves >= 2);
+  params.validate();
+  const std::size_t n = leaves;
+  harmonic_cache hc(params.s);
+  const double h_n = hc.prefix(n);
+  const double half_s = std::pow(2.0, -params.s);
+
+  star_condition_report report;
+  report.cond1_lhs = params.a / h_n;
+  report.cond1_rhs = std::pow(2.0, params.s) * params.l;
+  bool holds = report.cond1_lhs <= report.cond1_rhs + 1e-12;
+
+  report.cond2_margin = std::numeric_limits<double>::infinity();
+  report.cond3_margin = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 2; i + 1 <= n; ++i) {
+    const double h_i1 = hc.prefix(i + 1);
+    const double di = static_cast<double>(i);
+    // (C2): b*i/2*(H_{i+1}-1-2^-s)/H + a*(H_{i+1}-1)/H <= l*i
+    const double lhs2 = params.b * di / 2.0 * (h_i1 - 1.0 - half_s) / h_n +
+                        params.a * (h_i1 - 1.0) / h_n;
+    const double margin2 = params.l * di - lhs2;
+    if (margin2 < report.cond2_margin) {
+      report.cond2_margin = margin2;
+      report.cond2_worst_i = i;
+    }
+    // (C3): b*i/2*(H_n-1-2^-s)/H + a*(H_{i+1}-2)/H <= l*(i-1)
+    const double lhs3 = params.b * di / 2.0 * (h_n - 1.0 - half_s) / h_n +
+                        params.a * (h_i1 - 2.0) / h_n;
+    const double margin3 = params.l * (di - 1.0) - lhs3;
+    if (margin3 < report.cond3_margin) {
+      report.cond3_margin = margin3;
+      report.cond3_worst_i = i;
+    }
+  }
+  if (n >= 3) {
+    holds = holds && report.cond2_margin >= -1e-12 &&
+            report.cond3_margin >= -1e-12;
+  }
+  report.holds = holds;
+  return report;
+}
+
+bool star_is_ne_closed_form(std::size_t leaves, const game_params& params) {
+  return star_ne_conditions(leaves, params).holds;
+}
+
+bool star_ne_sufficient_thm9(std::size_t leaves, const game_params& params) {
+  LCG_EXPECTS(leaves >= 2);
+  params.validate();
+  if (params.s < 2.0) return false;
+  const double h_n = harmonic(leaves, params.s);
+  return params.a / h_n <= params.l && params.b / h_n <= params.l;
+}
+
+namespace {
+
+/// Exact utility of a leaf's deviation on the real star graph: leaf 1 adds
+/// channels to leaves 2..added+1 and optionally drops the centre (node 0).
+double exact_star_deviation_utility(std::size_t leaves, std::size_t added,
+                                    bool drop_center,
+                                    const game_params& params) {
+  graph::digraph g = graph::star_graph(leaves);
+  const graph::node_id u = 1;
+  if (drop_center) {
+    const graph::edge_id forward = g.find_edge(0, u);
+    const graph::edge_id reverse = g.find_edge(u, 0);
+    g.remove_edge(forward);
+    g.remove_edge(reverse);
+  }
+  for (std::size_t j = 0; j < added; ++j) {
+    const auto peer = static_cast<graph::node_id>(2 + j);
+    g.add_bidirectional(u, peer);
+  }
+  return node_utility(g, u, params).total;
+}
+
+}  // namespace
+
+std::vector<star_leaf_deviation> star_leaf_deviation_utilities(
+    std::size_t leaves, const game_params& params) {
+  LCG_EXPECTS(leaves >= 3);
+  params.validate();
+  const std::size_t n = leaves;
+  harmonic_cache hc(params.s);
+  const double h_n = hc.prefix(n);
+  const double half_s = std::pow(2.0, -params.s);
+  const double a = params.a;
+  const double b = params.b;
+  const double l = params.l;
+  const double nn = static_cast<double>(n);
+
+  std::vector<star_leaf_deviation> out;
+
+  {
+    star_leaf_deviation d;
+    d.name = "default";
+    d.paper_revenue = 0.0;
+    d.paper_fees = a * (h_n - 1.0) / h_n;
+    d.paper_cost = l;
+    d.exact_utility = exact_star_deviation_utility(n, 0, false, params);
+    out.push_back(d);
+  }
+  {
+    star_leaf_deviation d;
+    d.name = "add-all-keep-center";
+    d.added = n - 1;
+    d.paper_revenue = b * (nn - 1.0) / 2.0 * (h_n - 1.0 - half_s) / h_n;
+    d.paper_fees = 0.0;
+    d.paper_cost = l * nn;
+    d.exact_utility = exact_star_deviation_utility(n, n - 1, false, params);
+    out.push_back(d);
+  }
+  {
+    star_leaf_deviation d;
+    d.name = "add-all-drop-center";
+    d.added = n - 1;
+    d.drops_center = true;
+    d.paper_revenue = b * (nn - 1.0) / 2.0 * (h_n - 1.0 - half_s) / h_n;
+    d.paper_fees = a / h_n;
+    d.paper_cost = l * (nn - 1.0);
+    d.exact_utility = exact_star_deviation_utility(n, n - 1, true, params);
+    out.push_back(d);
+  }
+  {
+    star_leaf_deviation d;
+    d.name = "add-one-keep-center";
+    d.added = 1;
+    d.paper_revenue = 0.0;
+    d.paper_fees = a * (h_n - 1.0 - half_s) / h_n;
+    d.paper_cost = l * 2.0;
+    d.exact_utility = exact_star_deviation_utility(n, 1, false, params);
+    out.push_back(d);
+  }
+  for (std::size_t i = 2; i + 2 <= n; ++i) {
+    const double h_i1 = hc.prefix(i + 1);
+    const double di = static_cast<double>(i);
+    {
+      star_leaf_deviation d;
+      d.name = "add-" + std::to_string(i) + "-keep-center";
+      d.added = i;
+      d.paper_revenue = b * di / 2.0 * (h_i1 - 1.0 - half_s) / h_n;
+      d.paper_fees = a * (h_n - h_i1) / h_n;
+      d.paper_cost = l * (di + 1.0);
+      d.exact_utility = exact_star_deviation_utility(n, i, false, params);
+      out.push_back(d);
+    }
+    {
+      star_leaf_deviation d;
+      d.name = "add-" + std::to_string(i) + "-drop-center";
+      d.added = i;
+      d.drops_center = true;
+      d.paper_revenue = b * di / 2.0 * (h_i1 - 1.0 - half_s) / h_n;
+      d.paper_fees = a * (h_n - h_i1 + 1.0) / h_n;
+      d.paper_cost = l * di;
+      d.exact_utility = exact_star_deviation_utility(n, i, true, params);
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcg::topology

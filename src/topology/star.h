@@ -1,0 +1,83 @@
+// Closed-form Nash-equilibrium conditions for the star graph
+// (Theorems 7, 8, 9 of Section IV-B).
+//
+// For a star with n >= 2 leaves under the modified Zipf distribution with
+// exponent s, Theorem 8 states the star is a Nash equilibrium iff (with
+// H := H^s_n the generalised harmonic number over the n nodes every player
+// ranks):
+//
+//   (C1)  a / H <= 2^s * l
+//   (C2)  b * i/2 * (H_{i+1} - 1 - 2^{-s}) / H + a * (H_{i+1} - 1) / H
+//           <= l * i                   for all 2 <= i <= n-1
+//   (C3)  b * i/2 * (H     - 1 - 2^{-s}) / H + a * (H_{i+1} - 2) / H
+//           <= l * (i - 1)             for all 2 <= i <= n-1
+//
+// Theorem 7: with 2^{-s} ~ 0 (very large s) the star with >= 4 leaves is a
+// NE. Theorem 9: s >= 2 together with a/H <= l and b/H <= l is sufficient.
+//
+// `star_deviation_utilities` additionally evaluates the six deviation
+// families enumerated in Theorem 8's proof from their closed-form
+// expressions, so tests can cross-check them against the generic numeric
+// checker (topology/nash.h) on the actual graph.
+
+#ifndef LCG_TOPOLOGY_STAR_H
+#define LCG_TOPOLOGY_STAR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/game.h"
+
+namespace lcg::topology {
+
+struct star_condition_report {
+  // (C1)
+  double cond1_lhs = 0.0;
+  double cond1_rhs = 0.0;
+  // Worst i for (C2)/(C3) and the margins rhs - lhs there (>= 0 iff holds).
+  std::size_t cond2_worst_i = 0;
+  double cond2_margin = 0.0;
+  std::size_t cond3_worst_i = 0;
+  double cond3_margin = 0.0;
+  bool holds = false;
+};
+
+/// Theorem 8's conditions for the star with `leaves` >= 2 leaves.
+[[nodiscard]] star_condition_report star_ne_conditions(
+    std::size_t leaves, const game_params& params);
+
+[[nodiscard]] bool star_is_ne_closed_form(std::size_t leaves,
+                                          const game_params& params);
+
+/// Theorem 9's sufficient condition: s >= 2, a/H <= l and b/H <= l.
+[[nodiscard]] bool star_ne_sufficient_thm9(std::size_t leaves,
+                                           const game_params& params);
+
+/// A leaf-deviation family from Theorem 8's proof, evaluated two ways:
+/// `paper_*` uses the proof's closed-form expressions verbatim (which
+/// assume large-i rank orderings and carry two transcription slips — see
+/// EXPERIMENTS.md E11), `exact_*` rebuilds the deviated graph and evaluates
+/// the true game utility (topology/game.h).
+struct star_leaf_deviation {
+  std::string name;
+  std::size_t added = 0;  // leaf channels added
+  bool drops_center = false;
+  double paper_revenue = 0.0;
+  double paper_fees = 0.0;
+  double paper_cost = 0.0;
+  double exact_utility = 0.0;
+
+  double paper_utility() const noexcept {
+    return paper_revenue - paper_fees - paper_cost;
+  }
+};
+
+/// All proof families for a star with `leaves` leaves: the default strategy
+/// first, then add-all/keep, add-all/drop, add-one/keep, add-i/keep and
+/// add-i/drop for every 2 <= i <= leaves-2.
+[[nodiscard]] std::vector<star_leaf_deviation> star_leaf_deviation_utilities(
+    std::size_t leaves, const game_params& params);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_STAR_H

@@ -1,0 +1,50 @@
+#include "topology/welfare.h"
+
+#include <cmath>
+#include <limits>
+
+#include "graph/generators.h"
+#include "topology/nash.h"
+
+namespace lcg::topology {
+
+welfare_report social_welfare(const graph::digraph& g,
+                              const game_params& params) {
+  const std::vector<utility_breakdown> utilities = all_utilities(g, params);
+  welfare_report report;
+  report.min_utility = std::numeric_limits<double>::infinity();
+  report.max_utility = -std::numeric_limits<double>::infinity();
+  for (const utility_breakdown& u : utilities) {
+    report.total += u.total;
+    report.revenue += u.revenue;
+    report.fees += u.fees;
+    report.cost += u.cost;
+    report.min_utility = std::min(report.min_utility, u.total);
+    report.max_utility = std::max(report.max_utility, u.total);
+  }
+  if (utilities.empty()) {
+    report.min_utility = 0.0;
+    report.max_utility = 0.0;
+  }
+  return report;
+}
+
+std::vector<topology_welfare_row> canonical_topology_comparison(
+    std::size_t n, const game_params& params) {
+  LCG_EXPECTS(n >= 3);
+  std::vector<topology_welfare_row> rows;
+  const auto add = [&](const std::string& name, const graph::digraph& g) {
+    topology_welfare_row row;
+    row.name = name;
+    row.welfare = social_welfare(g, params);
+    row.is_nash = check_nash_equilibrium(g, params).is_equilibrium;
+    rows.push_back(std::move(row));
+  };
+  add("star", graph::star_graph(n - 1));  // n total nodes
+  add("path", graph::path_graph(n));
+  add("circle", graph::cycle_graph(n));
+  add("complete", graph::complete_graph(n));
+  return rows;
+}
+
+}  // namespace lcg::topology

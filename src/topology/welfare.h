@@ -1,0 +1,49 @@
+// Social welfare of a PCN topology.
+//
+// The network-creation-game literature the paper builds on ([38], [43])
+// evaluates topologies by the sum of player utilities and by the price of
+// anarchy (optimal welfare / worst equilibrium welfare). This module adds
+// both lenses over the Section IV game: welfare of a topology, and a
+// comparison across the paper's canonical shapes, used by the
+// topology_stability example and the stability benches to show *why* the
+// star dominates — it maximises total welfare under concentrated demand
+// while remaining stable.
+
+#ifndef LCG_TOPOLOGY_WELFARE_H
+#define LCG_TOPOLOGY_WELFARE_H
+
+#include <string>
+#include <vector>
+
+#include "topology/game.h"
+
+namespace lcg::topology {
+
+struct welfare_report {
+  double total = 0.0;       // sum of node utilities (-inf if any node is)
+  double revenue = 0.0;     // total routing revenue earned
+  double fees = 0.0;        // total fees paid
+  double cost = 0.0;        // total channel cost borne
+  double min_utility = 0.0; // worst-off player
+  double max_utility = 0.0; // best-off player
+};
+
+/// Sum (and distribution) of player utilities on `g`.
+[[nodiscard]] welfare_report social_welfare(const graph::digraph& g,
+                                            const game_params& params);
+
+struct topology_welfare_row {
+  std::string name;
+  welfare_report welfare;
+  bool is_nash = false;
+};
+
+/// Welfare + stability of the paper's canonical n-node topologies
+/// (star, path, circle, complete). n >= 3; the Nash check is exhaustive,
+/// so keep n small (<= ~8).
+[[nodiscard]] std::vector<topology_welfare_row> canonical_topology_comparison(
+    std::size_t n, const game_params& params);
+
+}  // namespace lcg::topology
+
+#endif  // LCG_TOPOLOGY_WELFARE_H

@@ -1,0 +1,138 @@
+#include "util/enumeration.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace lcg {
+
+namespace {
+
+bool compose_rec(std::uint64_t remaining, std::size_t index,
+                 std::vector<std::uint64_t>& current, std::uint64_t& visited,
+                 const std::function<bool(const std::vector<std::uint64_t>&)>&
+                     visit) {
+  if (index + 1 == current.size()) {
+    current[index] = remaining;
+    ++visited;
+    return visit(current);
+  }
+  for (std::uint64_t take = 0; take <= remaining; ++take) {
+    current[index] = take;
+    if (!compose_rec(remaining - take, index + 1, current, visited, visit))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t for_each_composition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit) {
+  LCG_EXPECTS(parts >= 1);
+  std::vector<std::uint64_t> current(parts, 0);
+  std::uint64_t visited = 0;
+  compose_rec(total, 0, current, visited, visit);
+  return visited;
+}
+
+namespace {
+
+bool partition_rec(std::uint64_t remaining, std::uint64_t cap,
+                   std::size_t index, std::vector<std::uint64_t>& current,
+                   std::uint64_t& visited,
+                   const std::function<bool(const std::vector<std::uint64_t>&)>&
+                       visit) {
+  if (index == current.size()) {
+    ++visited;
+    return visit(current);
+  }
+  const std::uint64_t limit = std::min(cap, remaining);
+  // Descend from `limit` so larger locks are tried first.
+  for (std::uint64_t take = limit + 1; take-- > 0;) {
+    current[index] = take;
+    if (!partition_rec(remaining - take, take, index + 1, current, visited,
+                       visit))
+      return false;
+    if (take == 0) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t for_each_bounded_partition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit) {
+  LCG_EXPECTS(parts >= 1);
+  std::vector<std::uint64_t> current(parts, 0);
+  std::uint64_t visited = 0;
+  partition_rec(total, total, 0, current, visited, visit);
+  return visited;
+}
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    if (result > kMax / num) return kMax;  // saturate
+    result = result * num / i;
+  }
+  return result;
+}
+
+std::uint64_t composition_count(std::uint64_t total, std::size_t parts) {
+  LCG_EXPECTS(parts >= 1);
+  return binomial(total + parts - 1, parts - 1);
+}
+
+std::uint64_t for_each_subset_of_size(
+    std::size_t n, std::size_t k,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  if (k > n) return 0;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  std::uint64_t visited = 0;
+  if (k == 0) {
+    visit(idx);
+    return 1;
+  }
+  for (;;) {
+    ++visited;
+    if (!visit(idx)) return visited;
+    // Advance to the next k-combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) break;
+      if (i == 0) return visited;
+    }
+    if (idx[i] == i + n - k) return visited;
+    ++idx[i];
+    for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+std::uint64_t for_each_subset(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  LCG_EXPECTS(n <= 30);
+  const std::uint64_t limit = 1ULL << n;
+  std::uint64_t visited = 0;
+  std::vector<std::size_t> members;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    members.clear();
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (1ULL << b)) members.push_back(b);
+    }
+    ++visited;
+    if (!visit(members)) return visited;
+  }
+  return visited;
+}
+
+}  // namespace lcg

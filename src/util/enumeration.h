@@ -1,0 +1,56 @@
+// Combinatorial enumeration helpers.
+//
+// Algorithm 2 of the paper exhaustively searches "all divisions of
+// floor(Bu/m) units into k+1 parts"; the brute-force reference optimizer and
+// the Nash deviation checker enumerate subsets. Both enumerations live here
+// so they can be tested in isolation.
+
+#ifndef LCG_UTIL_ENUMERATION_H
+#define LCG_UTIL_ENUMERATION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lcg {
+
+/// Visits every way of writing `total` as an ordered sum of `parts`
+/// non-negative integers (a weak composition). The visited vector has size
+/// `parts` and sums to exactly `total`. Returns the number of compositions
+/// visited. If `visit` returns false, enumeration stops early.
+std::uint64_t for_each_composition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit);
+
+/// Number of weak compositions of `total` into `parts` parts:
+/// C(total + parts - 1, parts - 1). Saturates at uint64 max on overflow.
+[[nodiscard]] std::uint64_t composition_count(std::uint64_t total,
+                                              std::size_t parts);
+
+/// Visits every non-increasing sequence of `parts` non-negative integers
+/// with sum <= `total` (i.e. bounded-length partitions padded with zeros).
+/// Algorithm 2's fund divisions are order-insensitive for the greedy
+/// subroutine's optimum, so enumerating partitions instead of compositions
+/// removes the duplicate orderings. Returns the number visited.
+std::uint64_t for_each_bounded_partition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit);
+
+/// Visits every subset of {0, .., n-1} of size exactly k, as a sorted index
+/// vector. Returns number visited; `visit` returning false stops early.
+std::uint64_t for_each_subset_of_size(
+    std::size_t n, std::size_t k,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Visits every subset of {0, .., n-1} (all sizes, including empty).
+/// Requires n <= 30.
+std::uint64_t for_each_subset(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Binomial coefficient with saturation at uint64 max.
+[[nodiscard]] std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace lcg
+
+#endif  // LCG_UTIL_ENUMERATION_H

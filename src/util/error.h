@@ -1,0 +1,63 @@
+// Error handling for the lcg library.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw purpose-designed
+// exception types for failures, and check preconditions explicitly (I.5).
+// Precondition violations are programming errors on the caller's side and
+// throw `precondition_error`; domain failures (e.g. an infeasible payment)
+// are reported through result types or domain exceptions defined near their
+// modules.
+
+#ifndef LCG_UTIL_ERROR_H
+#define LCG_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace lcg {
+
+/// Base class of all lcg exceptions.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class precondition_error : public error {
+ public:
+  explicit precondition_error(const std::string& what) : error(what) {}
+};
+
+/// An internal invariant failed to hold (a bug in lcg itself).
+class invariant_error : public error {
+ public:
+  explicit invariant_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line) {
+  throw precondition_error(std::string("precondition failed: ") + expr +
+                           " at " + file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line) {
+  throw invariant_error(std::string("invariant failed: ") + expr + " at " +
+                        file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace lcg
+
+/// State a precondition (Core Guidelines I.5/I.6).
+#define LCG_EXPECTS(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::lcg::detail::fail_precondition(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// State an internal invariant / postcondition (Core Guidelines I.7/I.8).
+#define LCG_ENSURES(cond)                                           \
+  do {                                                              \
+    if (!(cond)) ::lcg::detail::fail_invariant(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#endif  // LCG_UTIL_ERROR_H

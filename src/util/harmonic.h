@@ -1,0 +1,44 @@
+// Generalized harmonic numbers H^s_n = sum_{k=1..n} 1/k^s.
+//
+// These appear throughout Section IV of the paper: every Zipf normalisation
+// and every star/circle Nash-equilibrium condition is expressed in terms of
+// H^s_n. `harmonic_cache` amortises repeated prefix evaluations for a fixed
+// exponent s, which the Nash sweeps perform millions of times.
+
+#ifndef LCG_UTIL_HARMONIC_H
+#define LCG_UTIL_HARMONIC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace lcg {
+
+/// H^s_n computed directly. Requires n >= 0; H^s_0 = 0.
+[[nodiscard]] double harmonic(std::size_t n, double s);
+
+/// Sum_{k=lo..hi} 1/k^s (inclusive). Requires 1 <= lo; returns 0 if lo > hi.
+[[nodiscard]] double harmonic_range(std::size_t lo, std::size_t hi, double s);
+
+/// Caches prefix sums H^s_1 .. H^s_n for one exponent; grows on demand.
+class harmonic_cache {
+ public:
+  explicit harmonic_cache(double s);
+
+  double s() const noexcept { return s_; }
+
+  /// H^s_n. Amortised O(1) after the first query of a given magnitude.
+  double prefix(std::size_t n);
+
+  /// Sum over ranks lo..hi inclusive (0 when lo > hi).
+  double range(std::size_t lo, std::size_t hi);
+
+ private:
+  void grow(std::size_t n);
+
+  double s_;
+  std::vector<double> prefix_;  // prefix_[k] = H^s_k, prefix_[0] = 0
+};
+
+}  // namespace lcg
+
+#endif  // LCG_UTIL_HARMONIC_H

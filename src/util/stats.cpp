@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lcg {
+
+void running_stats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double running_stats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+histogram::histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  LCG_EXPECTS(hi > lo);
+  LCG_EXPECTS(buckets > 0);
+  counts_.assign(buckets, 0);
+}
+
+void histogram::add(double x) noexcept {
+  std::size_t b;
+  if (x < lo_) {
+    b = 0;
+  } else if (x >= hi_) {
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<std::size_t>((x - lo_) / width_);
+    if (b >= counts_.size()) b = counts_.size() - 1;
+  }
+  ++counts_[b];
+  ++total_;
+}
+
+std::size_t histogram::count(std::size_t bucket) const {
+  LCG_EXPECTS(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double histogram::bucket_low(std::size_t bucket) const {
+  LCG_EXPECTS(bucket < counts_.size());
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double histogram::bucket_high(std::size_t bucket) const {
+  LCG_EXPECTS(bucket < counts_.size());
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+double histogram::quantile(double q) const {
+  LCG_EXPECTS(q >= 0.0 && q <= 1.0);
+  LCG_EXPECTS(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (cum + c >= target) {
+      const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+      return bucket_low(b) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+double quantile(std::vector<double> values, double q) {
+  LCG_EXPECTS(!values.empty());
+  LCG_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values.size()) return values.back();
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+}  // namespace lcg

@@ -1,0 +1,69 @@
+// Streaming statistics used by the simulator and the benchmark harness.
+
+#ifndef LCG_UTIL_STATS_H
+#define LCG_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace lcg {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const running_stats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used for transaction-size and latency distributions.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const noexcept { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+  /// Empirical quantile in [0,1] via linear interpolation inside buckets.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Exact sample quantile (linear interpolation, type-7) of a data vector.
+/// Copies and sorts; intended for end-of-run reporting, not hot paths.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+}  // namespace lcg
+
+#endif  // LCG_UTIL_STATS_H

@@ -1,0 +1,103 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace lcg {
+
+table::table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  LCG_EXPECTS(!columns_.empty());
+}
+
+void table::add_row(std::vector<table_cell> row) {
+  LCG_EXPECTS(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+void table::set_double_precision(int digits) {
+  LCG_EXPECTS(digits >= 0 && digits <= 17);
+  precision_ = digits;
+}
+
+std::string table::render_cell(const table_cell& cell) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&cell)) {
+    os << *i;
+  } else {
+    os << std::setprecision(precision_) << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+       << columns_[c] << " |";
+  os << '\n';
+  rule();
+  for (const auto& cells : rendered) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::right
+         << cells[c] << " |";
+    os << '\n';
+  }
+  rule();
+}
+
+void table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (const char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << s;
+    }
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    emit(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit(render_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace lcg

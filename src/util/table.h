@@ -1,0 +1,48 @@
+// Console table / CSV emission for benches and examples.
+//
+// Every experiment binary prints its result series both as an aligned
+// human-readable table and (optionally) as CSV, so EXPERIMENTS.md rows can be
+// regenerated mechanically.
+
+#ifndef LCG_UTIL_TABLE_H
+#define LCG_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lcg {
+
+/// A cell is a string, an integer, or a double (printed with configurable
+/// precision).
+using table_cell = std::variant<std::string, long long, double>;
+
+class table {
+ public:
+  explicit table(std::vector<std::string> columns);
+
+  /// Number of cells must equal the number of columns.
+  void add_row(std::vector<table_cell> row);
+
+  void set_double_precision(int digits);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned, boxed, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string render_cell(const table_cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<table_cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace lcg
+
+#endif  // LCG_UTIL_TABLE_H

@@ -1,0 +1,30 @@
+// Wall-clock timing for experiment harnesses.
+
+#ifndef LCG_UTIL_TIMER_H
+#define LCG_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace lcg {
+
+/// Simple monotonic stopwatch.
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lcg
+
+#endif  // LCG_UTIL_TIMER_H

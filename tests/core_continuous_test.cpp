@@ -1,0 +1,142 @@
+// Section III-D: continuous-funds local search on the benefit function.
+
+#include "core/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.h"
+#include "core/rate_estimator.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcg::core {
+namespace {
+
+struct fixture {
+  graph::digraph host;
+  std::unique_ptr<utility_model> model;
+  std::unique_ptr<full_connection_rate_estimator> estimator;
+  std::unique_ptr<estimated_objective> objective;
+  std::vector<graph::node_id> candidates;
+};
+
+fixture make_fixture(std::uint64_t seed, std::size_t n) {
+  fixture f;
+  rng gen(seed);
+  f.host = graph::erdos_renyi(n, 0.35, gen);
+  for (graph::node_id v = 0; v < n; ++v) {
+    const auto next = static_cast<graph::node_id>((v + 1) % n);
+    if (f.host.find_edge(v, next) == graph::invalid_edge)
+      f.host.add_bidirectional(v, next);
+  }
+  // Parameters in the regime III-D targets: routing revenue can pay for
+  // channels, so the benefit optimum is positive.
+  model_params params;
+  params.onchain_cost = 1.0;
+  params.opportunity_rate = 0.05;
+  params.fee_avg = 8.0;
+  params.fee_avg_tx = 0.3;
+  params.user_tx_rate = 1.0;
+  f.model = std::make_unique<utility_model>(
+      make_zipf_model(f.host, 1.0, 20.0, params));
+  for (graph::node_id v = 0; v < n; ++v) f.candidates.push_back(v);
+  f.estimator = std::make_unique<full_connection_rate_estimator>(
+      *f.model, f.candidates);
+  f.objective = std::make_unique<estimated_objective>(*f.model, *f.estimator);
+  return f;
+}
+
+TEST(ContinuousLocalSearch, OutputRespectsBudget) {
+  fixture f = make_fixture(1, 9);
+  const double budget = 5.0;
+  const local_search_result r =
+      continuous_local_search(*f.objective, f.candidates, budget);
+  EXPECT_TRUE(within_budget(f.model->params(), r.chosen, budget));
+}
+
+TEST(ContinuousLocalSearch, FindsPositiveBenefitWhenAvailable) {
+  fixture f = make_fixture(2, 10);
+  const local_search_result r =
+      continuous_local_search(*f.objective, f.candidates, 6.0);
+  EXPECT_FALSE(r.chosen.empty());
+  EXPECT_GT(r.objective_value, 0.0);
+}
+
+TEST(ContinuousLocalSearch, IsLocalOptimumUnderItsOwnMoves) {
+  fixture f = make_fixture(3, 8);
+  const double budget = 5.0;
+  local_search_options opts;
+  opts.restarts = 2;
+  const local_search_result r =
+      continuous_local_search(*f.objective, f.candidates, budget, opts);
+  // No single drop improves the benefit.
+  for (std::size_t i = 0; i < r.chosen.size(); ++i) {
+    strategy trial = r.chosen;
+    trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_LE(f.objective->benefit(trial), r.objective_value + 1e-7);
+  }
+}
+
+// III-D's bound: the local search clears 1/5 of the (grid) optimum of the
+// benefit function. Empirically it is near-optimal; 1/5 is the contract.
+class ContinuousApproximation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContinuousApproximation, MeetsOneFifthBound) {
+  const std::uint64_t seed = GetParam();
+  fixture f = make_fixture(seed, 8);
+  const double budget = 5.0;
+  local_search_options opts;
+  opts.seed = seed;
+  const local_search_result r =
+      continuous_local_search(*f.objective, f.candidates, budget, opts);
+
+  const std::vector<double> levels{0.0, 1.0, 2.0, 4.0};
+  const brute_force_result opt = brute_force_lock_grid(
+      [&](const strategy& s) { return f.objective->benefit(s); },
+      f.model->params(), f.candidates, levels, budget);
+  ASSERT_GT(opt.value, 0.0);
+  EXPECT_GE(r.objective_value, 0.2 * opt.value - 1e-9)
+      << "local search " << r.objective_value << " vs grid OPT " << opt.value;
+  // In practice the search should land close to the optimum.
+  EXPECT_GE(r.objective_value, 0.8 * opt.value - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousApproximation,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(ContinuousLocalSearch, LockRefinementExploitsContinuity) {
+  // With refinement on, locks need not sit on the coarse grid.
+  fixture f = make_fixture(4, 8);
+  local_search_options opts;
+  opts.grid_points = 2;  // coarse grid: refinement must do the work
+  opts.refine_locks = true;
+  const local_search_result refined =
+      continuous_local_search(*f.objective, f.candidates, 5.0, opts);
+  opts.refine_locks = false;
+  const local_search_result coarse =
+      continuous_local_search(*f.objective, f.candidates, 5.0, opts);
+  EXPECT_GE(refined.objective_value, coarse.objective_value - 1e-9);
+}
+
+TEST(ContinuousLocalSearch, ZeroBudget) {
+  fixture f = make_fixture(5, 6);
+  const local_search_result r =
+      continuous_local_search(*f.objective, f.candidates, 0.0);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(ContinuousLocalSearch, DeterministicForFixedSeed) {
+  fixture f = make_fixture(6, 8);
+  local_search_options opts;
+  opts.seed = 77;
+  const auto a = continuous_local_search(*f.objective, f.candidates, 4.0, opts);
+  const auto b = continuous_local_search(*f.objective, f.candidates, 4.0, opts);
+  EXPECT_EQ(a.chosen.size(), b.chosen.size());
+  EXPECT_NEAR(a.objective_value, b.objective_value, 1e-12);
+}
+
+}  // namespace
+}  // namespace lcg::core

@@ -1,0 +1,211 @@
+// Empirical verification of the objective-function properties claimed in
+// Section III-A: Theorem 1 (submodularity of the estimated objective),
+// Theorem 2 (U' monotone, U non-monotone), Theorem 3 (U can be negative).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.h"
+#include "core/objective.h"
+#include "core/rate_estimator.h"
+#include "core/utility.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcg::core {
+namespace {
+
+struct instance {
+  graph::digraph host;
+  std::unique_ptr<utility_model> model;
+  std::vector<graph::node_id> candidates;
+};
+
+instance make_instance(std::uint64_t seed, std::size_t n, double favg) {
+  instance inst;
+  rng gen(seed);
+  // Connected random host: ER + a spanning cycle to guarantee connectivity.
+  inst.host = graph::erdos_renyi(n, 0.25, gen);
+  for (graph::node_id v = 0; v < n; ++v) {
+    const auto next = static_cast<graph::node_id>((v + 1) % n);
+    if (inst.host.find_edge(v, next) == graph::invalid_edge)
+      inst.host.add_bidirectional(v, next);
+  }
+  model_params params;
+  params.onchain_cost = 1.0;
+  params.opportunity_rate = 0.05;
+  params.fee_avg = favg;
+  params.fee_avg_tx = 0.5;
+  params.user_tx_rate = 1.0;
+  inst.model = std::make_unique<utility_model>(
+      make_zipf_model(inst.host, 1.0, 10.0, params));
+  for (graph::node_id v = 0; v < n; ++v) inst.candidates.push_back(v);
+  return inst;
+}
+
+class ObjectiveProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Theorem 1: for S1 subset of S2 and X outside S2,
+//   obj(S1 + X) - obj(S1) >= obj(S2 + X) - obj(S2).
+TEST_P(ObjectiveProperties, EstimatedObjectiveIsSubmodular) {
+  const std::uint64_t seed = GetParam();
+  instance inst = make_instance(seed, 10, 2.0);
+  full_connection_rate_estimator est(*inst.model, inst.candidates);
+  const estimated_objective obj(*inst.model, est);
+
+  rng gen(seed * 31 + 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random chain S1 subset S2 and extra X.
+    std::vector<graph::node_id> pool = inst.candidates;
+    gen.shuffle(pool);
+    const std::size_t s1_size =
+        1 + static_cast<std::size_t>(gen.uniform_int(0, 3));
+    const std::size_t s2_extra =
+        static_cast<std::size_t>(gen.uniform_int(1, 3));
+    if (s1_size + s2_extra + 1 > pool.size()) continue;
+    const double lock = gen.uniform_real(0.5, 3.0);
+
+    strategy s1, s2;
+    std::size_t i = 0;
+    for (; i < s1_size; ++i) s1.push_back({pool[i], lock});
+    s2 = s1;
+    for (; i < s1_size + s2_extra; ++i) s2.push_back({pool[i], lock});
+    const action x{pool[i], lock};
+
+    strategy s1x = s1, s2x = s2;
+    s1x.push_back(x);
+    s2x.push_back(x);
+    const double gain1 = obj.simplified(s1x) - obj.simplified(s1);
+    const double gain2 = obj.simplified(s2x) - obj.simplified(s2);
+    EXPECT_GE(gain1, gain2 - 1e-9)
+        << "submodularity violated at trial " << trial;
+  }
+}
+
+// Theorem 2 (first half): U' is monotone increasing.
+TEST_P(ObjectiveProperties, SimplifiedUtilityIsMonotone) {
+  const std::uint64_t seed = GetParam();
+  instance inst = make_instance(seed, 10, 2.0);
+  full_connection_rate_estimator est(*inst.model, inst.candidates);
+  const estimated_objective obj(*inst.model, est);
+
+  rng gen(seed * 17 + 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<graph::node_id> pool = inst.candidates;
+    gen.shuffle(pool);
+    strategy s;
+    double previous = -std::numeric_limits<double>::infinity();
+    const double lock = gen.uniform_real(0.5, 3.0);
+    for (std::size_t i = 0; i < 5; ++i) {
+      s.push_back({pool[i], lock});
+      const double value = obj.simplified(s);
+      EXPECT_GE(value, previous - 1e-9);
+      previous = value;
+    }
+  }
+}
+
+// The exact model's U' (not just the estimate) is also monotone.
+TEST_P(ObjectiveProperties, ExactSimplifiedUtilityIsMonotone) {
+  const std::uint64_t seed = GetParam();
+  instance inst = make_instance(seed, 8, 2.0);
+  rng gen(seed + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<graph::node_id> pool = inst.candidates;
+    gen.shuffle(pool);
+    strategy s;
+    double previous = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < 4; ++i) {
+      s.push_back({pool[i], 1.0});
+      const double value = inst.model->simplified_utility(s);
+      EXPECT_GE(value, previous - 1e-9);
+      previous = value;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectiveProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Theorem 2 (second half) + Theorem 3: with channel costs included, U is
+// non-monotone and can be negative.
+TEST(UtilityShape, FullUtilityNonMonotoneAndNegative) {
+  instance inst = make_instance(99, 8, 0.0);  // no revenue at all
+  // S1 = {best single channel}, S2 adds a second channel: with zero revenue
+  // the extra channel cannot pay for itself unless it saves enough fees;
+  // make fees cheap so it cannot.
+  model_params params;
+  params.onchain_cost = 5.0;   // expensive channels
+  params.opportunity_rate = 0.1;
+  params.fee_avg = 0.0;
+  params.fee_avg_tx = 0.01;
+  params.user_tx_rate = 1.0;
+  const utility_model model =
+      make_zipf_model(inst.host, 1.0, 10.0, params);
+
+  const strategy s1{{0, 1.0}};
+  strategy s2 = s1;
+  s2.push_back({1, 1.0});
+  const double u1 = model.utility(s1);
+  const double u2 = model.utility(s2);
+  EXPECT_LT(u2, u1) << "adding an expensive useless channel must hurt";
+  EXPECT_LT(u1, 0.0) << "Theorem 3: utility can be negative";
+}
+
+TEST(UtilityShape, BenefitEqualsUtilityPlusOnchainCost) {
+  instance inst = make_instance(7, 8, 1.0);
+  const strategy s{{0, 1.0}, {3, 2.0}};
+  EXPECT_NEAR(inst.model->benefit(s),
+              inst.model->utility(s) +
+                  inst.model->params().onchain_alternative_cost(),
+              1e-9);
+}
+
+// Estimator call accounting (the Theorem 4/5 cost metric).
+TEST(RateEstimators, CountCalls) {
+  instance inst = make_instance(3, 8, 1.0);
+  full_connection_rate_estimator est(*inst.model, inst.candidates);
+  EXPECT_EQ(est.calls(), 0u);
+  (void)est.estimate(0, 1.0);
+  (void)est.estimate(1, 1.0);
+  EXPECT_EQ(est.calls(), 2u);
+  est.reset_calls();
+  EXPECT_EQ(est.calls(), 0u);
+}
+
+TEST(RateEstimators, CapacityDiscountApplies) {
+  instance inst = make_instance(4, 8, 1.0);
+  const dist::uniform_tx_size sizes(10.0);
+  full_connection_rate_estimator est(*inst.model, inst.candidates, &sizes);
+  full_connection_rate_estimator undiscounted(*inst.model, inst.candidates);
+  for (const graph::node_id v : inst.candidates) {
+    // A lock of 5 forwards only half the size distribution.
+    EXPECT_NEAR(est.estimate(v, 5.0), 0.5 * undiscounted.estimate(v, 5.0),
+                1e-9);
+    // Full lock -> no discount.
+    EXPECT_NEAR(est.estimate(v, 10.0), undiscounted.estimate(v, 10.0), 1e-9);
+  }
+}
+
+TEST(RateEstimators, DegreeShareSumsToTotalRate) {
+  instance inst = make_instance(5, 10, 1.0);
+  degree_share_rate_estimator est(*inst.model);
+  double total = 0.0;
+  for (const graph::node_id v : inst.candidates)
+    total += est.estimate(v, 1.0);
+  EXPECT_NEAR(total, inst.model->demand().total_rate(), 1e-9);
+}
+
+TEST(RateEstimators, AnchorPairGivesHigherRateToCentralNodes) {
+  const graph::digraph host = graph::star_graph(6);
+  model_params params;
+  params.fee_avg = 1.0;
+  const utility_model model = make_zipf_model(host, 1.0, 10.0, params);
+  anchor_pair_rate_estimator est(model);
+  // The centre should attract at least as much through-traffic as a leaf.
+  EXPECT_GE(est.estimate(0, 1.0), est.estimate(3, 1.0));
+}
+
+}  // namespace
+}  // namespace lcg::core

@@ -1,0 +1,158 @@
+#include "core/utility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace lcg::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Host: star with centre 0 and leaves 1..3. Uniform demand, each sender
+/// rate 1. Newcomer transacts uniformly with all four host nodes.
+utility_model star_model(model_params params) {
+  const graph::digraph host = graph::star_graph(3);
+  const dist::uniform_transaction_distribution uniform;
+  dist::demand_model demand(host, uniform, 4.0);
+  std::vector<double> newcomer(4, 0.25);
+  return utility_model(host, std::move(demand), std::move(newcomer), params);
+}
+
+model_params base_params() {
+  model_params p;
+  p.onchain_cost = 1.0;
+  p.opportunity_rate = 0.1;
+  p.fee_avg = 1.0;
+  p.fee_avg_tx = 1.0;
+  p.user_tx_rate = 2.0;
+  p.deposit_mode = counterparty_deposit::match;
+  return p;
+}
+
+TEST(UtilityModel, EmptyStrategyIsDisconnected) {
+  const utility_model m = star_model(base_params());
+  EXPECT_TRUE(std::isinf(m.expected_fees({})));
+  EXPECT_EQ(m.utility({}), -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(m.expected_revenue({}), 0.0);
+}
+
+TEST(UtilityModel, SingleChannelToCenterHandComputed) {
+  const utility_model m = star_model(base_params());
+  const strategy s{{0, 5.0}};
+  // A leaf routes nothing.
+  EXPECT_NEAR(m.expected_revenue(s), 0.0, kTol);
+  // Distances: centre 1, each leaf 2; p = 0.25 each; N_u * f^T = 2.
+  EXPECT_NEAR(m.expected_fees(s), 2.0 * (1 * 0.25 + 3 * 2 * 0.25), kTol);
+  EXPECT_NEAR(m.channel_costs(s), 1.0 + 0.1 * 5.0, kTol);
+  EXPECT_NEAR(m.utility(s), 0.0 - 3.5 - 1.5, kTol);
+  // Benefit adds C_u = N_u * C / 2 = 1.
+  EXPECT_NEAR(m.benefit(s), 1.0 - 5.0, kTol);
+  EXPECT_NEAR(m.simplified_utility(s), -3.5, kTol);
+}
+
+TEST(UtilityModel, TwoLeafChannelsEarnSplitRevenue) {
+  const utility_model m = star_model(base_params());
+  const strategy s{{1, 1.0}, {2, 1.0}};
+  // Ordered pair (1,2)/(2,1): two shortest paths (via centre, via u);
+  // u carries 1/2 of each; weight = 1 * 1/3 -> E_rev = 2 * (1/3) * 1/2.
+  EXPECT_NEAR(m.expected_revenue(s), 1.0 / 3.0, kTol);
+  // Distances from u: leaf1 1, leaf2 1, centre 2, leaf3 3.
+  EXPECT_NEAR(m.expected_fees(s), 2.0 * 0.25 * (1 + 1 + 2 + 3), kTol);
+}
+
+TEST(UtilityModel, EdgeRateModeDoubleCountsThroughTraffic) {
+  model_params p = base_params();
+  const utility_model node_mode = star_model(p);
+  p.rev_mode = revenue_mode::edge_rates;
+  const utility_model edge_mode = star_model(p);
+  const strategy s{{1, 1.0}, {2, 1.0}};
+  // Eq. (3) literal counts each forwarded tx on the in-edge and out-edge.
+  EXPECT_NEAR(edge_mode.expected_revenue(s),
+              2.0 * node_mode.expected_revenue(s), kTol);
+}
+
+TEST(UtilityModel, IntermediariesFeeModeSubtractsOneHop) {
+  model_params p = base_params();
+  p.fee_mode = fee_distance_mode::intermediaries;
+  const utility_model m = star_model(p);
+  const strategy s{{0, 5.0}};
+  // (d - 1): centre 0, leaves 1 -> 2 * (0 * .25 + 3 * 1 * .25) = 1.5.
+  EXPECT_NEAR(m.expected_fees(s), 1.5, kTol);
+}
+
+TEST(UtilityModel, CapacityReductionBlocksSmallChannels) {
+  model_params p = base_params();
+  p.tx_size = 2.0;
+  const utility_model m = star_model(p);
+  // Host edges have capacity 1 < tx_size: routing beyond direct channels is
+  // impossible, fees are infinite.
+  const strategy s{{0, 5.0}};
+  EXPECT_TRUE(std::isinf(m.expected_fees(s)));
+  // Connecting to everything makes all nodes directly reachable again.
+  const strategy all{{0, 5.0}, {1, 5.0}, {2, 5.0}, {3, 5.0}};
+  EXPECT_FALSE(std::isinf(m.expected_fees(all)));
+}
+
+TEST(UtilityModel, CounterpartyDepositModeAffectsReducedGraph) {
+  model_params p = base_params();
+  p.tx_size = 2.0;
+  p.deposit_mode = counterparty_deposit::none;
+  const utility_model m = star_model(p);
+  // Without a counterparty deposit the v->u direction has zero capacity, so
+  // u cannot receive or be routed through; but u -> v works: distances via
+  // outgoing edges still exist if the rest of the graph carries tx_size.
+  // Host capacities are 1 < 2, so only u's own locked edges survive.
+  const strategy all{{0, 5.0}, {1, 5.0}, {2, 5.0}, {3, 5.0}};
+  EXPECT_FALSE(std::isinf(m.expected_fees(all)));  // direct u->v edges
+  EXPECT_NEAR(m.expected_revenue(all), 0.0, kTol);  // nothing enters u
+}
+
+TEST(UtilityModel, JoinBuildsExpectedTopology) {
+  const utility_model m = star_model(base_params());
+  const strategy s{{0, 3.0}, {2, 1.5}};
+  const auto joined = m.join(s);
+  EXPECT_EQ(joined.g.node_count(), 5u);
+  EXPECT_EQ(joined.u, 4u);
+  EXPECT_NE(joined.g.find_edge(joined.u, 0), graph::invalid_edge);
+  EXPECT_NE(joined.g.find_edge(2, joined.u), graph::invalid_edge);
+  EXPECT_EQ(joined.g.find_edge(joined.u, 1), graph::invalid_edge);
+  const graph::edge_id out = joined.g.find_edge(joined.u, 0);
+  EXPECT_DOUBLE_EQ(joined.g.edge_at(out).capacity, 3.0);
+}
+
+TEST(UtilityModel, MakeZipfModelWiresDistributions) {
+  const graph::digraph host = graph::star_graph(4);
+  const utility_model m = make_zipf_model(host, 1.0, 5.0, base_params());
+  // Newcomer probability mass concentrates on the centre.
+  const auto& probs = m.newcomer_probabilities();
+  EXPECT_GT(probs[0], probs[1]);
+  double total = 0.0;
+  for (const double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(UtilityModel, RejectsInvalidConstruction) {
+  const graph::digraph host = graph::star_graph(3);
+  const dist::uniform_transaction_distribution uniform;
+  dist::demand_model demand(host, uniform, 4.0);
+  std::vector<double> bad_probs(4, 0.5);  // sums to 2
+  EXPECT_THROW(
+      utility_model(host, demand, bad_probs, base_params()),
+      precondition_error);
+}
+
+TEST(UtilityModel, StrategyHelpers) {
+  const model_params p = base_params();
+  const strategy s{{0, 5.0}, {1, 3.0}};
+  EXPECT_NEAR(strategy_cost(p, s), (1.0 + 0.5) + (1.0 + 0.3), kTol);
+  EXPECT_TRUE(within_budget(p, s, 10.0));   // capital = 2C + 8 = 10
+  EXPECT_FALSE(within_budget(p, s, 9.9));
+  EXPECT_EQ(max_channels(p, 10.0, 4.0), 2u);
+  EXPECT_EQ(max_channels(p, 0.5, 4.0), 0u);
+}
+
+}  // namespace
+}  // namespace lcg::core

@@ -1,0 +1,142 @@
+#include "dist/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcg::dist {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(RankFactors, NoTies) {
+  // Degrees 5 > 3 > 1: plain Zipf masses 1, 1/2^s, 1/3^s.
+  const std::vector<std::size_t> degrees{3, 5, 1};
+  const auto rf = rank_factors(degrees, 1.0);
+  EXPECT_NEAR(rf[1], 1.0, kTol);       // degree 5 -> rank 1
+  EXPECT_NEAR(rf[0], 0.5, kTol);       // degree 3 -> rank 2
+  EXPECT_NEAR(rf[2], 1.0 / 3.0, kTol); // degree 1 -> rank 3
+}
+
+TEST(RankFactors, TiesAreAveraged) {
+  // Degrees {3, 1, 1}: ranks 2 and 3 are tied; the paper averages their
+  // Zipf masses: rf = (1/2 + 1/3)/2 = 5/12 at s = 1.
+  const std::vector<std::size_t> degrees{3, 1, 1};
+  const auto rf = rank_factors(degrees, 1.0);
+  EXPECT_NEAR(rf[0], 1.0, kTol);
+  EXPECT_NEAR(rf[1], 5.0 / 12.0, kTol);
+  EXPECT_NEAR(rf[2], 5.0 / 12.0, kTol);
+}
+
+TEST(RankFactors, AllTiedEqualsUniformMass) {
+  const std::vector<std::size_t> degrees{2, 2, 2, 2};
+  const auto rf = rank_factors(degrees, 1.5);
+  const double expected =
+      (1.0 + std::pow(2.0, -1.5) + std::pow(3.0, -1.5) +
+       std::pow(4.0, -1.5)) /
+      4.0;
+  for (const double f : rf) EXPECT_NEAR(f, expected, kTol);
+}
+
+TEST(RankFactors, SZeroIsUniform) {
+  const std::vector<std::size_t> degrees{9, 0, 4};
+  const auto rf = rank_factors(degrees, 0.0);
+  for (const double f : rf) EXPECT_NEAR(f, 1.0, kTol);
+}
+
+TEST(RankFactors, EmptyInput) {
+  EXPECT_TRUE(rank_factors(std::vector<std::size_t>{}, 1.0).empty());
+}
+
+// The paper's claimed property: a strictly better rank block gives a
+// strictly larger rank factor (r1(v1) < r2(v2) => rf(v1) > rf(v2)).
+class RankFactorMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(RankFactorMonotonicity, HigherDegreeHigherFactor) {
+  const double s = GetParam();
+  rng gen(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::size_t> degrees(12);
+    for (auto& d : degrees)
+      d = static_cast<std::size_t>(gen.uniform_int(0, 5));
+    const auto rf = rank_factors(degrees, s);
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      for (std::size_t j = 0; j < degrees.size(); ++j) {
+        if (degrees[i] > degrees[j]) {
+          EXPECT_GT(rf[i], rf[j]) << "s=" << s;
+        } else if (degrees[i] == degrees[j]) {
+          EXPECT_NEAR(rf[i], rf[j], kTol);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, RankFactorMonotonicity,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.5));
+
+TEST(TransactionProbabilities, StarLeafHandComputed) {
+  // Star with centre 0 and leaves 1..3, sender = leaf 1, s = 1.
+  // V' in-degrees (u's edges removed): centre 2, leaves 1 and 1.
+  // rf: centre 1; leaves (1/2 + 1/3)/2 = 5/12. Sum = 11/6.
+  const graph::digraph g = graph::star_graph(3);
+  const auto p = transaction_probabilities(g, 1, 1.0);
+  EXPECT_NEAR(p[0], 6.0 / 11.0, kTol);
+  EXPECT_NEAR(p[1], 0.0, kTol);
+  EXPECT_NEAR(p[2], 5.0 / 22.0, kTol);
+  EXPECT_NEAR(p[3], 5.0 / 22.0, kTol);
+}
+
+TEST(TransactionProbabilities, StarCenterSeesUniformLeaves) {
+  const graph::digraph g = graph::star_graph(3);
+  const auto p = transaction_probabilities(g, 0, 1.0);
+  EXPECT_NEAR(p[0], 0.0, kTol);
+  for (graph::node_id leaf = 1; leaf <= 3; ++leaf)
+    EXPECT_NEAR(p[leaf], 1.0 / 3.0, kTol);
+}
+
+TEST(TransactionProbabilities, SumsToOne) {
+  rng gen(17);
+  const graph::digraph g = graph::erdos_renyi(15, 0.3, gen);
+  for (const double s : {0.0, 1.0, 2.5}) {
+    for (graph::node_id u = 0; u < g.node_count(); ++u) {
+      const auto p = transaction_probabilities(g, u, s);
+      EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+      EXPECT_NEAR(p[u], 0.0, kTol);
+    }
+  }
+}
+
+TEST(TransactionProbabilities, RemovingSenderEdgesMatters) {
+  // Path 0-1-2: from 0's perspective, node 1's in-degree drops to 1 after
+  // removing 0's edge, equal to node 2's; so both tie.
+  const graph::digraph g = graph::path_graph(3);
+  const auto p = transaction_probabilities(g, 0, 1.0);
+  EXPECT_NEAR(p[1], p[2], kTol);
+}
+
+TEST(NewcomerProbabilities, StarHandComputed) {
+  // Newcomer ranks: centre degree 3 (rank 1), leaves degree 1 (ranks 2-4).
+  // rf: 1 and (1/2 + 1/3 + 1/4)/3 = 13/36; sum = 1 + 13/12 = 25/12.
+  const graph::digraph g = graph::star_graph(3);
+  const auto p = newcomer_transaction_probabilities(g, 1.0);
+  EXPECT_NEAR(p[0], 12.0 / 25.0, kTol);
+  for (graph::node_id leaf = 1; leaf <= 3; ++leaf)
+    EXPECT_NEAR(p[leaf], 13.0 / 75.0, kTol);
+}
+
+TEST(ProbabilityMatrix, RowsMatchPerSenderCalls) {
+  rng gen(23);
+  const graph::digraph g = graph::erdos_renyi(8, 0.4, gen);
+  const auto matrix = transaction_probability_matrix(g, 1.2);
+  for (graph::node_id u = 0; u < g.node_count(); ++u)
+    EXPECT_EQ(matrix[u], transaction_probabilities(g, u, 1.2));
+}
+
+}  // namespace
+}  // namespace lcg::dist

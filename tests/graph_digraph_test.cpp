@@ -1,0 +1,113 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace lcg::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, AddNodesAssignsDenseIds) {
+  digraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_nodes(3), 2u);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_TRUE(g.has_node(4));
+  EXPECT_FALSE(g.has_node(5));
+}
+
+TEST(Digraph, AddEdgeUpdatesAdjacency) {
+  digraph g(3);
+  const edge_id e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge_at(e).src, 0u);
+  EXPECT_EQ(g.edge_at(e).dst, 1u);
+  EXPECT_DOUBLE_EQ(g.edge_at(e).capacity, 2.5);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(Digraph, RejectsSelfLoopsAndBadNodes) {
+  digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), precondition_error);
+  EXPECT_THROW(g.add_edge(0, 5), precondition_error);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), precondition_error);
+}
+
+TEST(Digraph, BidirectionalAddsTwoEdges) {
+  digraph g(2);
+  const edge_id forward = g.add_bidirectional(0, 1, 3.0, 4.0);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_at(forward).capacity, 3.0);
+  const edge_id reverse = forward + 1;
+  EXPECT_EQ(g.edge_at(reverse).src, 1u);
+  EXPECT_DOUBLE_EQ(g.edge_at(reverse).capacity, 4.0);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  // Distinct neighbors counted once.
+  EXPECT_EQ(g.out_neighbors(0).size(), 1u);
+}
+
+TEST(Digraph, RemoveAndRestoreEdge) {
+  digraph g(3);
+  const edge_id e = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(e);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.edge_active(e));
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.find_edge(0, 1), invalid_edge);
+  g.restore_edge(e);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  // Double remove / restore are idempotent.
+  g.remove_edge(e);
+  g.remove_edge(e);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, ForEachSkipsInactive) {
+  digraph g(3);
+  const edge_id a = g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.remove_edge(a);
+  int visits = 0;
+  g.for_each_out(0, [&](edge_id, const edge& e) {
+    EXPECT_EQ(e.dst, 2u);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Digraph, SetCapacity) {
+  digraph g(2);
+  const edge_id e = g.add_edge(0, 1, 1.0);
+  g.set_capacity(e, 9.0);
+  EXPECT_DOUBLE_EQ(g.edge_at(e).capacity, 9.0);
+  EXPECT_THROW(g.set_capacity(e, -2.0), precondition_error);
+}
+
+TEST(Digraph, FindEdgePicksActive) {
+  digraph g(2);
+  const edge_id a = g.add_edge(0, 1);
+  const edge_id b = g.add_edge(0, 1);
+  g.remove_edge(a);
+  EXPECT_EQ(g.find_edge(0, 1), b);
+}
+
+}  // namespace
+}  // namespace lcg::graph

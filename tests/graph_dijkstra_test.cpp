@@ -1,0 +1,107 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace lcg::graph {
+namespace {
+
+TEST(Dijkstra, MatchesBfsUnderUnitWeights) {
+  rng gen(3);
+  const digraph g = erdos_renyi(20, 0.2, gen);
+  const auto unit = [](edge_id, const edge&) { return 1.0; };
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    const dijkstra_result d = dijkstra(g, s, unit);
+    const auto bfs = bfs_distances(g, s);
+    for (node_id t = 0; t < g.node_count(); ++t) {
+      if (bfs[t] == unreachable) {
+        EXPECT_TRUE(std::isinf(d.cost[t]));
+      } else {
+        EXPECT_DOUBLE_EQ(d.cost[t], static_cast<double>(bfs[t]));
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+  // 0 -> 1 -> 2 at cost 1 + 1; direct 0 -> 2 at cost 5.
+  digraph g(3);
+  const edge_id cheap_a = g.add_edge(0, 1);
+  const edge_id cheap_b = g.add_edge(1, 2);
+  const edge_id pricey = g.add_edge(0, 2);
+  const auto weight = [&](edge_id e, const edge&) {
+    return e == pricey ? 5.0 : 1.0;
+  };
+  const dijkstra_result d = dijkstra(g, 0, weight);
+  EXPECT_DOUBLE_EQ(d.cost[2], 2.0);
+  const auto path = cheapest_path(g, 0, 2, weight);
+  EXPECT_EQ(path, (std::vector<edge_id>{cheap_a, cheap_b}));
+}
+
+TEST(Dijkstra, InfiniteWeightForbidsEdge) {
+  digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto weight = [](edge_id, const edge& ed) {
+    return ed.dst == 2 ? unreachable_cost : 1.0;
+  };
+  const dijkstra_result d = dijkstra(g, 0, weight);
+  EXPECT_TRUE(std::isinf(d.cost[2]));
+  EXPECT_TRUE(cheapest_path(g, 0, 2, weight).empty());
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto free = [](edge_id, const edge&) { return 0.0; };
+  const dijkstra_result d = dijkstra(g, 0, free);
+  EXPECT_DOUBLE_EQ(d.cost[2], 0.0);
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+  digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(
+      dijkstra(g, 0, [](edge_id, const edge&) { return -1.0; }),
+      precondition_error);
+}
+
+TEST(Dijkstra, SelfPathIsEmpty) {
+  digraph g(2);
+  g.add_edge(0, 1);
+  const auto unit = [](edge_id, const edge&) { return 1.0; };
+  EXPECT_TRUE(cheapest_path(g, 0, 0, unit).empty());
+}
+
+TEST(Dijkstra, RandomGraphsPathCostsAreConsistent) {
+  rng gen(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const digraph g = erdos_renyi(15, 0.3, gen);
+    rng wgen(static_cast<std::uint64_t>(trial) + 100);
+    std::vector<double> weights(g.edge_slots());
+    for (double& w : weights) w = wgen.uniform_real(0.1, 3.0);
+    const auto weight = [&](edge_id e, const edge&) { return weights[e]; };
+    const dijkstra_result d = dijkstra(g, 0, weight);
+    for (node_id t = 1; t < g.node_count(); ++t) {
+      if (std::isinf(d.cost[t])) continue;
+      const auto path = cheapest_path(g, 0, t, weight);
+      double total = 0.0;
+      for (const edge_id e : path) total += weights[e];
+      EXPECT_NEAR(total, d.cost[t], 1e-9);
+      // Triangle property: cost via any in-edge is never cheaper.
+      g.for_each_in(t, [&](edge_id e, const edge& ed) {
+        if (!std::isinf(d.cost[ed.src]))
+          EXPECT_LE(d.cost[t], d.cost[ed.src] + weights[e] + 1e-9);
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcg::graph

@@ -1,0 +1,113 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.h"
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lcg::graph {
+namespace {
+
+TEST(Generators, PathGraphShape) {
+  const digraph g = path_graph(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 8u);  // 4 channels x 2 directions
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, SingleNodePath) {
+  const digraph g = path_graph(1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Generators, CycleGraphShape) {
+  const digraph g = cycle_graph(6);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (node_id v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 2u);
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_THROW(cycle_graph(2), precondition_error);
+}
+
+TEST(Generators, StarGraphShape) {
+  const digraph g = star_graph(7);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.out_degree(0), 7u);
+  for (node_id leaf = 1; leaf <= 7; ++leaf)
+    EXPECT_EQ(g.out_degree(leaf), 1u);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Generators, CompleteGraphShape) {
+  const digraph g = complete_graph(5);
+  EXPECT_EQ(g.edge_count(), 20u);  // 10 channels x 2
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, GridGraphShape) {
+  const digraph g = grid_graph(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // Channels: 3*3 horizontal + 2*4 vertical = 17; edges = 34.
+  EXPECT_EQ(g.edge_count(), 34u);
+  EXPECT_EQ(diameter(g), 5);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  rng gen(1);
+  const digraph empty = erdos_renyi(6, 0.0, gen);
+  EXPECT_EQ(empty.edge_count(), 0u);
+  const digraph full = erdos_renyi(6, 1.0, gen);
+  EXPECT_EQ(full.edge_count(), 30u);
+}
+
+TEST(Generators, ErdosRenyiDensityNearP) {
+  rng gen(7);
+  const std::size_t n = 60;
+  const digraph g = erdos_renyi(n, 0.2, gen);
+  const double channels = static_cast<double>(g.edge_count()) / 2.0;
+  const double expected = 0.2 * static_cast<double>(n * (n - 1)) / 2.0;
+  EXPECT_NEAR(channels, expected, expected * 0.25);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  rng gen(3);
+  const std::size_t n = 50, attach = 2;
+  const digraph g = barabasi_albert(n, attach, gen);
+  EXPECT_EQ(g.node_count(), n);
+  // Channels: seed clique C(3,2)=3 + (n - 3) * 2.
+  EXPECT_EQ(g.edge_count() / 2, 3 + (n - 3) * attach);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertIsHeavyTailed) {
+  rng gen(5);
+  const digraph g = barabasi_albert(300, 2, gen);
+  std::size_t max_degree = 0;
+  for (node_id v = 0; v < g.node_count(); ++v)
+    max_degree = std::max(max_degree, g.out_degree(v));
+  // Preferential attachment creates hubs far above the mean degree (~4).
+  EXPECT_GE(max_degree, 15u);
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  rng gen(11);
+  const digraph g = watts_strogatz(20, 2, 0.0, gen);
+  EXPECT_EQ(g.edge_count() / 2, 40u);  // n * k channels
+  for (node_id v = 0; v < 20; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  // With rewiring the graph stays connected with the same channel count.
+  const digraph r = watts_strogatz(20, 2, 0.5, gen);
+  EXPECT_EQ(r.edge_count() / 2, 40u);
+}
+
+TEST(Generators, InvalidArguments) {
+  rng gen(1);
+  EXPECT_THROW(barabasi_albert(2, 2, gen), precondition_error);
+  EXPECT_THROW(watts_strogatz(4, 2, 0.1, gen), precondition_error);
+  EXPECT_THROW(erdos_renyi(4, 1.5, gen), precondition_error);
+}
+
+}  // namespace
+}  // namespace lcg::graph

@@ -1,0 +1,79 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcg::graph {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  rng gen(5);
+  const digraph original = erdos_renyi(10, 0.3, gen, /*capacity=*/2.5);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const digraph loaded = read_edge_list(buffer);
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.edge_count(), original.edge_count());
+  for (node_id u = 0; u < original.node_count(); ++u) {
+    EXPECT_EQ(loaded.out_neighbors(u), original.out_neighbors(u)) << u;
+  }
+}
+
+TEST(GraphIo, EdgeListSkipsInactiveEdges) {
+  digraph g(3);
+  const edge_id e = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.remove_edge(e);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const digraph loaded = read_edge_list(buffer);
+  EXPECT_EQ(loaded.edge_count(), 1u);
+  EXPECT_EQ(loaded.find_edge(0, 1), invalid_edge);
+}
+
+TEST(GraphIo, EdgeListPreservesCapacities) {
+  digraph g(2);
+  g.add_edge(0, 1, 3.25);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const digraph loaded = read_edge_list(buffer);
+  EXPECT_DOUBLE_EQ(loaded.edge_at(0).capacity, 3.25);
+}
+
+TEST(GraphIo, ReadRejectsBadHeader) {
+  std::stringstream bad("vertices 3\n0 1 1.0\n");
+  EXPECT_THROW(read_edge_list(bad), error);
+}
+
+TEST(GraphIo, ReadRejectsOutOfRangeEndpoint) {
+  std::stringstream bad("nodes 2\n0 5 1.0\n");
+  EXPECT_THROW(read_edge_list(bad), error);
+}
+
+TEST(GraphIo, DotRendersChannelsAsUndirected) {
+  digraph g(3);
+  g.add_bidirectional(0, 1, 4.0, 6.0);
+  g.add_edge(1, 2, 1.0);  // unpaired direction
+  std::stringstream buffer;
+  write_dot(buffer, g, "test");
+  const std::string out = buffer.str();
+  EXPECT_NE(out.find("graph test {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1 [label=\"4/6\"]"), std::string::npos);
+  EXPECT_NE(out.find("dir=forward"), std::string::npos);
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream buffer;
+  write_edge_list(buffer, digraph(0));
+  const digraph loaded = read_edge_list(buffer);
+  EXPECT_EQ(loaded.node_count(), 0u);
+  EXPECT_EQ(loaded.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lcg::graph

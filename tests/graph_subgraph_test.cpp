@@ -1,0 +1,63 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+
+namespace lcg::graph {
+namespace {
+
+TEST(Subgraph, CapacityFilterKeepsNodeIds) {
+  digraph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 5.0);
+  const subgraph_result r = reduced_by_capacity(g, 2.0);
+  EXPECT_EQ(r.graph.node_count(), 4u);
+  EXPECT_EQ(r.graph.edge_count(), 2u);
+  // The low-capacity middle edge is gone: 0 cannot reach 3.
+  EXPECT_EQ(bfs_distances(r.graph, 0)[3], unreachable);
+  EXPECT_EQ(bfs_distances(r.graph, 0)[1], 1);
+}
+
+TEST(Subgraph, EdgeMappingPointsBack) {
+  digraph g(3);
+  const edge_id keep_a = g.add_edge(0, 1, 9.0);
+  g.add_edge(1, 2, 0.5);
+  const edge_id keep_b = g.add_edge(2, 0, 9.0);
+  const subgraph_result r = reduced_by_capacity(g, 1.0);
+  ASSERT_EQ(r.original_edge.size(), 2u);
+  EXPECT_EQ(r.original_edge[0], keep_a);
+  EXPECT_EQ(r.original_edge[1], keep_b);
+  // New edge ids are dense 0..1 with the same endpoints.
+  EXPECT_EQ(r.graph.edge_at(0).src, 0u);
+  EXPECT_EQ(r.graph.edge_at(1).src, 2u);
+}
+
+TEST(Subgraph, InactiveEdgesNeverIncluded) {
+  digraph g(2);
+  const edge_id e = g.add_edge(0, 1, 10.0);
+  g.remove_edge(e);
+  const subgraph_result r = reduced_by_capacity(g, 1.0);
+  EXPECT_EQ(r.graph.edge_count(), 0u);
+}
+
+TEST(Subgraph, PredicateFilter) {
+  digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const subgraph_result r =
+      filtered(g, [](edge_id, const edge& ed) { return ed.src == 0; });
+  EXPECT_EQ(r.graph.edge_count(), 1u);
+  EXPECT_EQ(r.graph.edge_at(0).dst, 1u);
+}
+
+TEST(Subgraph, ThresholdBoundaryIsInclusive) {
+  digraph g(2);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(reduced_by_capacity(g, 2.0).graph.edge_count(), 1u);
+  EXPECT_EQ(reduced_by_capacity(g, 2.0 + 1e-9).graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lcg::graph

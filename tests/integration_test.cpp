@@ -1,0 +1,218 @@
+// End-to-end scenarios: the Figure 2 joining example and a
+// join-then-simulate pipeline on a preferential-attachment host network.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_force.h"
+#include "core/continuous.h"
+#include "core/greedy.h"
+#include "core/rate_estimator.h"
+#include "graph/generators.h"
+#include "pcn/rates.h"
+#include "sim/engine.h"
+#include "topology/game.h"
+
+namespace lcg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 2. Host path A-B-C-D (ids 0-3). A sends 9 tx/month to D; the
+// newcomer E sends 1 tx/month to B; fees and costs are all equal. E can
+// afford two channels. The paper's answer: connect to A and D, becoming the
+// intermediary for all of A's traffic while staying 2 hops from B.
+// ---------------------------------------------------------------------------
+
+core::utility_model figure2_model() {
+  const graph::digraph host = graph::path_graph(4);
+  // Demand: only A -> D, 9 transactions per unit time.
+  std::vector<std::vector<double>> rows(4, std::vector<double>(4, 0.0));
+  rows[0][3] = 1.0;
+  const dist::matrix_transaction_distribution matrix(rows);
+  dist::demand_model demand(host, matrix,
+                            std::vector<double>{9.0, 0.0, 0.0, 0.0});
+  // E transacts only with B.
+  std::vector<double> newcomer{0.0, 1.0, 0.0, 0.0};
+  core::model_params params;
+  params.onchain_cost = 1.0;
+  params.opportunity_rate = 0.001;
+  params.fee_avg = 1.0;
+  params.fee_avg_tx = 1.0;
+  params.user_tx_rate = 1.0;
+  return core::utility_model(host, std::move(demand), std::move(newcomer),
+                             params);
+}
+
+TEST(Figure2, OptimalStrategyConnectsToAandD) {
+  const core::utility_model model = figure2_model();
+  const std::vector<graph::node_id> candidates{0, 1, 2, 3};
+  // Two channels affordable: budget = 2 * (C + lock) with lock 9.5.
+  const double lock = 9.5;
+  const double budget = 2.0 * (1.0 + lock);
+  const core::brute_force_result best = core::brute_force_fixed_lock(
+      [&](const core::strategy& s) { return model.utility(s); },
+      model.params(), candidates, lock, budget);
+
+  std::vector<graph::node_id> peers;
+  for (const core::action& a : best.best) peers.push_back(a.peer);
+  std::sort(peers.begin(), peers.end());
+  EXPECT_EQ(peers, (std::vector<graph::node_id>{0, 3}));
+}
+
+TEST(Figure2, RevenueAndFeesMatchTheStory) {
+  const core::utility_model model = figure2_model();
+  const core::strategy chosen{{0, 10.0}, {3, 9.0}};
+  // E intermediates all 9 monthly A->D transactions (A-E-D beats A-B-C-D).
+  EXPECT_NEAR(model.expected_revenue(chosen), 9.0, 1e-9);
+  // E pays 2 hops to reach B through A.
+  EXPECT_NEAR(model.expected_fees(chosen), 2.0, 1e-9);
+  // The runner-up (connect B and D) earns only half the traffic:
+  // A->D then ties between A-B-C-D and A-B-E-D.
+  const core::strategy runner_up{{1, 10.0}, {3, 9.0}};
+  EXPECT_NEAR(model.expected_revenue(runner_up), 4.5, 1e-9);
+  EXPECT_NEAR(model.expected_fees(runner_up), 1.0, 1e-9);
+  EXPECT_GT(model.utility(chosen), model.utility(runner_up));
+}
+
+TEST(Figure2, LocalSearchFindsTheSameAnswer) {
+  const core::utility_model model = figure2_model();
+  const std::vector<graph::node_id> candidates{0, 1, 2, 3};
+  core::full_connection_rate_estimator est(model, candidates);
+  const core::estimated_objective obj(model, est);
+  core::local_search_options opts;
+  opts.seed = 5;
+  const core::local_search_result r =
+      core::continuous_local_search(obj, candidates, 21.0, opts);
+  std::vector<graph::node_id> peers;
+  for (const core::action& a : r.chosen) peers.push_back(a.peer);
+  std::sort(peers.begin(), peers.end());
+  EXPECT_EQ(peers, (std::vector<graph::node_id>{0, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Join a Barabasi-Albert host with the greedy optimiser, then replay a
+// Poisson workload on the joined PCN and compare measured revenue with the
+// analytic E_rev of the chosen strategy.
+// ---------------------------------------------------------------------------
+
+TEST(JoinAndSimulate, MeasuredRevenueTracksAnalytic) {
+  rng gen(2024);
+  const graph::digraph host = graph::barabasi_albert(30, 2, gen);
+  core::model_params params;
+  params.onchain_cost = 1.0;
+  params.opportunity_rate = 0.01;
+  params.fee_avg = 1.0;
+  params.fee_avg_tx = 1.0;
+  params.user_tx_rate = 1.0;
+  const double zipf_s = 1.0;
+  const core::utility_model model =
+      core::make_zipf_model(host, zipf_s, 30.0, params);
+
+  std::vector<graph::node_id> candidates(host.node_count());
+  for (graph::node_id v = 0; v < host.node_count(); ++v) candidates[v] = v;
+  core::full_connection_rate_estimator est(model, candidates);
+  const core::estimated_objective obj(model, est);
+  const core::greedy_result chosen =
+      core::greedy_fixed_lock(obj, candidates, 50.0, 4);
+  ASSERT_GE(chosen.chosen.size(), 2u);
+
+  const double analytic = model.expected_revenue(chosen.chosen);
+  ASSERT_GT(analytic, 0.0);
+
+  // Materialise the joined PCN with generous symmetric balances.
+  const auto joined = model.join(chosen.chosen);
+  pcn::network net(joined.g.node_count());
+  for (const topology::channel_pair& cp : topology::channel_pairs(joined.g))
+    net.open_channel(cp.a, cp.b, 10000.0, 10000.0);
+
+  // Workload: host nodes transact per the model's Zipf demand; the newcomer
+  // is passive (matching E_rev, which only counts through-traffic).
+  const std::size_t n = joined.g.node_count();
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n, 0.0));
+  std::vector<double> rates(n, 0.0);
+  for (graph::node_id s = 0; s < host.node_count(); ++s) {
+    for (graph::node_id t = 0; t < host.node_count(); ++t)
+      rows[s][t] = model.demand().pair_probability(s, t);
+    rates[s] = model.demand().sender_rate(s);
+  }
+  const dist::matrix_transaction_distribution matrix(rows);
+  dist::demand_model sim_demand(joined.g, matrix, rates);
+
+  const dist::fixed_tx_size sizes(1.0);
+  const dist::constant_fee fee(params.fee_avg);
+  sim::workload_generator wl(sim_demand, sizes, 77);
+  sim::sim_config config;
+  config.horizon = 300.0;
+  config.fee = &fee;
+  config.balance_reset_period = 5.0;
+  const sim::sim_metrics metrics = sim::run_simulation(net, wl, config);
+
+  ASSERT_GT(metrics.succeeded, 4000u);
+  EXPECT_GT(metrics.success_rate(), 0.99);
+  // Routing tie-breaks differ between BFS and the betweenness average, so
+  // allow a generous band; the signal is that measured revenue is the right
+  // order of magnitude and positive.
+  EXPECT_NEAR(metrics.revenue_rate(joined.u), analytic, analytic * 0.35);
+}
+
+TEST(JoinAndSimulate, BetterStrategiesEarnMoreInSimulation) {
+  rng gen(5);
+  const graph::digraph host = graph::barabasi_albert(20, 2, gen);
+  core::model_params params;
+  params.fee_avg = 1.0;
+  params.fee_avg_tx = 1.0;
+  const core::utility_model model =
+      core::make_zipf_model(host, 1.0, 20.0, params);
+
+  // Compare the greedy pick against connecting to two random low-degree
+  // leaves: analytic and simulated revenue must agree on the ordering.
+  std::vector<graph::node_id> candidates(host.node_count());
+  for (graph::node_id v = 0; v < host.node_count(); ++v) candidates[v] = v;
+  core::full_connection_rate_estimator est(model, candidates);
+  const core::estimated_objective obj(model, est);
+  const core::strategy good =
+      core::greedy_fixed_lock(obj, candidates, 10.0, 2).chosen;
+
+  // Two lowest-degree nodes.
+  std::vector<graph::node_id> by_degree = candidates;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](graph::node_id a, graph::node_id b) {
+              return host.in_degree(a) < host.in_degree(b);
+            });
+  const core::strategy bad{{by_degree[0], 10.0}, {by_degree[1], 10.0}};
+
+  EXPECT_GE(model.expected_revenue(good), model.expected_revenue(bad));
+
+  const auto simulate = [&](const core::strategy& s) {
+    const auto joined = model.join(s);
+    pcn::network net(joined.g.node_count());
+    for (const auto& cp : topology::channel_pairs(joined.g))
+      net.open_channel(cp.a, cp.b, 10000.0, 10000.0);
+    const std::size_t n = joined.g.node_count();
+    std::vector<std::vector<double>> rows(n, std::vector<double>(n, 0.0));
+    std::vector<double> rates(n, 0.0);
+    for (graph::node_id v = 0; v < host.node_count(); ++v) {
+      for (graph::node_id t = 0; t < host.node_count(); ++t)
+        rows[v][t] = model.demand().pair_probability(v, t);
+      rates[v] = model.demand().sender_rate(v);
+    }
+    const dist::matrix_transaction_distribution matrix(rows);
+    dist::demand_model sim_demand(joined.g, matrix, rates);
+    const dist::fixed_tx_size sizes(1.0);
+    const dist::constant_fee fee(1.0);
+    sim::workload_generator wl(sim_demand, sizes, 13);
+    sim::sim_config config;
+    config.horizon = 150.0;
+    config.fee = &fee;
+    config.balance_reset_period = 5.0;
+    pcn::network run_net = net;
+    return sim::run_simulation(run_net, wl, config)
+        .revenue_rate(joined.u);
+  };
+
+  EXPECT_GE(simulate(good) + 0.05, simulate(bad));
+}
+
+}  // namespace
+}  // namespace lcg

@@ -1,0 +1,186 @@
+#include "pcn/network.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace lcg::pcn {
+namespace {
+
+TEST(Network, OpenChannelSetsBalancesAndTopology) {
+  network net(2, /*onchain_cost=*/1.0);
+  const channel_id id = net.open_channel(0, 1, 10.0, 7.0);
+  const channel& ch = net.channel_at(id);
+  EXPECT_DOUBLE_EQ(ch.balance_a, 10.0);
+  EXPECT_DOUBLE_EQ(ch.balance_b, 7.0);
+  EXPECT_DOUBLE_EQ(ch.total_capacity(), 17.0);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ab).capacity, 10.0);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ba).capacity, 7.0);
+  // Opening cost split equally.
+  EXPECT_DOUBLE_EQ(net.onchain_spent(0), 0.5);
+  EXPECT_DOUBLE_EQ(net.onchain_spent(1), 0.5);
+}
+
+TEST(Network, OpenChannelValidation) {
+  network net(2);
+  EXPECT_THROW(net.open_channel(0, 0, 1.0, 1.0), precondition_error);
+  EXPECT_THROW(net.open_channel(0, 1, -1.0, 1.0), precondition_error);
+  EXPECT_THROW(net.open_channel(0, 1, 0.0, 0.0), precondition_error);
+}
+
+TEST(Network, Figure1BalanceSemantics) {
+  // Channel (u, v) with balances (10, 7); a payment of 5 from u shifts the
+  // balances to (5, 12); an attempted payment of 6 then fails because
+  // b_u = 5 < 6 (the Figure 1 failure); a payment of 5 drains u to (0, 17).
+  network net(2);
+  const channel_id id = net.open_channel(0, 1, 10.0, 7.0);
+
+  EXPECT_TRUE(net.execute_payment(0, 1, 5.0).ok());
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 0), 5.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 1), 12.0);
+
+  const payment_result failed = net.execute_payment(0, 1, 6.0);
+  EXPECT_EQ(failed.error, payment_error::no_feasible_path);
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 0), 5.0);  // unchanged
+
+  EXPECT_TRUE(net.execute_payment(0, 1, 5.0).ok());
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 0), 0.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 1), 17.0);
+
+  EXPECT_EQ(net.payments_attempted(), 3u);
+  EXPECT_EQ(net.payments_succeeded(), 2u);
+}
+
+TEST(Network, PaymentRefillsReverseDirection) {
+  network net(2);
+  const channel_id id = net.open_channel(0, 1, 5.0, 0.0);
+  EXPECT_FALSE(net.execute_payment(1, 0, 1.0).ok());  // v owns nothing yet
+  EXPECT_TRUE(net.execute_payment(0, 1, 3.0).ok());
+  EXPECT_TRUE(net.execute_payment(1, 0, 2.0).ok());   // now it can pay back
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 0), 4.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(id, 1), 1.0);
+}
+
+TEST(Network, MultiHopRoutingAndFees) {
+  // 0 - 1 - 2 with ample balance; intermediary 1 earns the fee.
+  network net(3);
+  net.open_channel(0, 1, 10.0, 10.0);
+  net.open_channel(1, 2, 10.0, 10.0);
+  const dist::constant_fee fee(0.25);
+  const payment_result res = net.execute_payment(0, 2, 4.0, &fee);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.path, (std::vector<graph::node_id>{0, 1, 2}));
+  EXPECT_EQ(res.intermediaries(), 1u);
+  EXPECT_DOUBLE_EQ(res.total_fee, 0.25);
+  EXPECT_DOUBLE_EQ(net.fees_earned(1), 0.25);
+  EXPECT_DOUBLE_EQ(net.fees_paid(0), 0.25);
+  EXPECT_DOUBLE_EQ(net.fees_earned(0), 0.0);
+}
+
+TEST(Network, DirectPaymentPaysNoFee) {
+  network net(2);
+  net.open_channel(0, 1, 5.0, 5.0);
+  const dist::constant_fee fee(1.0);
+  const payment_result res = net.execute_payment(0, 1, 1.0, &fee);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.total_fee, 0.0);
+}
+
+TEST(Network, RoutingPrefersFeasibleOverShort) {
+  // Short route 0-1-2 lacks capacity; longer 0-3-4-2 must be used.
+  network net(5);
+  net.open_channel(0, 1, 10.0, 0.0);
+  net.open_channel(1, 2, 1.0, 0.0);  // bottleneck
+  net.open_channel(0, 3, 10.0, 0.0);
+  net.open_channel(3, 4, 10.0, 0.0);
+  net.open_channel(4, 2, 10.0, 0.0);
+  const payment_result res = net.execute_payment(0, 2, 5.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.path, (std::vector<graph::node_id>{0, 3, 4, 2}));
+}
+
+TEST(Network, PaymentErrors) {
+  network net(3);
+  net.open_channel(0, 1, 5.0, 5.0);
+  EXPECT_EQ(net.execute_payment(0, 0, 1.0).error,
+            payment_error::same_endpoints);
+  EXPECT_EQ(net.execute_payment(0, 1, 0.0).error,
+            payment_error::non_positive_amount);
+  EXPECT_EQ(net.execute_payment(0, 2, 1.0).error,
+            payment_error::no_feasible_path);
+  EXPECT_FALSE(net.payment_feasible(0, 2, 1.0));
+  EXPECT_TRUE(net.payment_feasible(0, 1, 5.0));
+  EXPECT_FALSE(net.payment_feasible(0, 1, 5.1));
+}
+
+TEST(Network, CloseChannelSettlesAndCharges) {
+  network net(2, 2.0);
+  const channel_id id = net.open_channel(0, 1, 6.0, 4.0);
+  net.execute_payment(0, 1, 1.0);
+  net.close_channel(id, close_mode::unilateral_by_a);
+  EXPECT_EQ(net.channel_count(), 0u);
+  EXPECT_DOUBLE_EQ(net.settled(0), 5.0);
+  EXPECT_DOUBLE_EQ(net.settled(1), 5.0);
+  // Open: 1 each; unilateral close by a: 2 more for a.
+  EXPECT_DOUBLE_EQ(net.onchain_spent(0), 3.0);
+  EXPECT_DOUBLE_EQ(net.onchain_spent(1), 1.0);
+  // Edges are gone from the topology.
+  EXPECT_FALSE(net.payment_feasible(0, 1, 0.5));
+  EXPECT_THROW(net.close_channel(id, close_mode::collaborative),
+               precondition_error);
+}
+
+TEST(Network, CollaborativeCloseSplitsCost) {
+  network net(2, 2.0);
+  const channel_id id = net.open_channel(0, 1, 1.0, 1.0);
+  net.close_channel(id, close_mode::collaborative);
+  EXPECT_DOUBLE_EQ(net.onchain_spent(0), 2.0);  // 1 open + 1 close
+  EXPECT_DOUBLE_EQ(net.onchain_spent(1), 2.0);
+}
+
+TEST(Network, FindChannelEitherOrientation) {
+  network net(3);
+  const channel_id id = net.open_channel(2, 1, 1.0, 1.0);
+  EXPECT_EQ(net.find_channel(1, 2), id);
+  EXPECT_EQ(net.find_channel(2, 1), id);
+  EXPECT_FALSE(net.find_channel(0, 1).has_value());
+}
+
+TEST(Network, SnapshotRestoreRoundTrip) {
+  network net(3);
+  const channel_id ab = net.open_channel(0, 1, 8.0, 2.0);
+  const channel_id bc = net.open_channel(1, 2, 5.0, 5.0);
+  const auto snap = net.snapshot_balances();
+  net.execute_payment(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 5.0);
+  net.restore_balances(snap);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 8.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(bc, 1), 5.0);
+  // Topology capacities restored too.
+  const channel& ch = net.channel_at(ab);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ab).capacity, 8.0);
+}
+
+TEST(Network, AddNodeGrowsLedgers) {
+  network net(1);
+  const graph::node_id v = net.add_node();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_DOUBLE_EQ(net.fees_earned(v), 0.0);
+  net.open_channel(0, v, 1.0, 1.0);
+  EXPECT_EQ(net.channel_count(), 1u);
+}
+
+TEST(Network, ParallelChannelsBetweenSamePair) {
+  network net(2);
+  net.open_channel(0, 1, 1.0, 0.0);
+  net.open_channel(0, 1, 3.0, 0.0);
+  // A 2-coin payment must use the second channel.
+  const payment_result res = net.execute_payment(0, 1, 2.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(net.channel_at(0).balance_a, 1.0);
+  EXPECT_DOUBLE_EQ(net.channel_at(1).balance_a, 1.0);
+}
+
+}  // namespace
+}  // namespace lcg::pcn

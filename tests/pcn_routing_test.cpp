@@ -1,0 +1,144 @@
+// Routing extensions: fee-weighted (cheapest) paths and uniform tie-break
+// sampling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pcn/network.h"
+
+namespace lcg::pcn {
+namespace {
+
+TEST(CheapestRouting, AvoidsExpensiveIntermediary) {
+  // Two 2-hop routes 0->{1,2}->3; node 1 charges 1.0, node 2 charges 0.1.
+  network net(4);
+  net.open_channel(0, 1, 10.0, 10.0);
+  net.open_channel(1, 3, 10.0, 10.0);
+  net.open_channel(0, 2, 10.0, 10.0);
+  net.open_channel(2, 3, 10.0, 10.0);
+  const dist::constant_fee pricey(1.0);
+  const dist::constant_fee cheap(0.1);
+  const std::vector<const dist::fee_function*> node_fees{nullptr, &pricey,
+                                                         &cheap, nullptr};
+  const payment_result res =
+      net.execute_payment_cheapest(0, 3, 2.0, node_fees);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.path, (std::vector<graph::node_id>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(res.total_fee, 0.1);
+  EXPECT_DOUBLE_EQ(net.fees_earned(2), 0.1);
+  EXPECT_DOUBLE_EQ(net.fees_earned(1), 0.0);
+}
+
+TEST(CheapestRouting, TakesLongerPathWhenFeesJustifyIt) {
+  // Direct 2-hop route through a 5.0-fee hub vs a 3-hop route through two
+  // 0.5-fee nodes: the longer route costs 1.0 < 5.0.
+  network net(5);
+  net.open_channel(0, 1, 10.0, 10.0);  // hub route
+  net.open_channel(1, 4, 10.0, 10.0);
+  net.open_channel(0, 2, 10.0, 10.0);  // detour
+  net.open_channel(2, 3, 10.0, 10.0);
+  net.open_channel(3, 4, 10.0, 10.0);
+  const dist::constant_fee hub_fee(5.0);
+  const dist::constant_fee small_fee(0.5);
+  const std::vector<const dist::fee_function*> node_fees{
+      nullptr, &hub_fee, &small_fee, &small_fee, nullptr};
+  const payment_result res =
+      net.execute_payment_cheapest(0, 4, 1.0, node_fees);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.path, (std::vector<graph::node_id>{0, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(res.total_fee, 1.0);
+}
+
+TEST(CheapestRouting, UniformFeeOverloadMatchesShortestHops) {
+  network net(4);
+  net.open_channel(0, 1, 10.0, 10.0);
+  net.open_channel(1, 3, 10.0, 10.0);
+  net.open_channel(0, 2, 10.0, 10.0);
+  net.open_channel(2, 3, 10.0, 10.0);
+  const dist::constant_fee fee(0.5);
+  const payment_result res = net.execute_payment_cheapest(0, 3, 1.0, fee);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.intermediaries(), 1u);  // a 2-hop route, either one
+  EXPECT_DOUBLE_EQ(res.total_fee, 0.5);
+}
+
+TEST(CheapestRouting, RespectsCapacity) {
+  // The cheap route lacks capacity: fall back to the pricier feasible one.
+  network net(4);
+  net.open_channel(0, 1, 10.0, 10.0);
+  net.open_channel(1, 3, 10.0, 10.0);
+  net.open_channel(0, 2, 0.5, 10.0);  // cannot carry 2.0
+  net.open_channel(2, 3, 10.0, 10.0);
+  const dist::constant_fee pricey(1.0);
+  const dist::constant_fee cheap(0.1);
+  const std::vector<const dist::fee_function*> node_fees{nullptr, &pricey,
+                                                         &cheap, nullptr};
+  const payment_result res =
+      net.execute_payment_cheapest(0, 3, 2.0, node_fees);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.path, (std::vector<graph::node_id>{0, 1, 3}));
+}
+
+TEST(CheapestRouting, ReportsErrors) {
+  network net(3);
+  net.open_channel(0, 1, 1.0, 1.0);
+  const dist::constant_fee fee(0.1);
+  EXPECT_EQ(net.execute_payment_cheapest(0, 0, 1.0, fee).error,
+            payment_error::same_endpoints);
+  EXPECT_EQ(net.execute_payment_cheapest(0, 2, 1.0, fee).error,
+            payment_error::no_feasible_path);
+  EXPECT_EQ(net.execute_payment_cheapest(0, 1, -1.0, fee).error,
+            payment_error::non_positive_amount);
+}
+
+TEST(TieBreakRouting, SamplesBothShortestPathsEvenly) {
+  // Diamond 0 -> {1, 2} -> 3 with equal hops: the random tie-breaker must
+  // route through both intermediaries roughly half the time.
+  network net(4);
+  net.open_channel(0, 1, 1e9, 1e9);
+  net.open_channel(1, 3, 1e9, 1e9);
+  net.open_channel(0, 2, 1e9, 1e9);
+  net.open_channel(2, 3, 1e9, 1e9);
+  rng tie(123);
+  std::map<graph::node_id, int> via;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const payment_result res =
+        net.execute_payment(0, 3, 1.0, nullptr, &tie);
+    ASSERT_TRUE(res.ok());
+    ++via[res.path[1]];
+    // Send it back to keep balances symmetric.
+    ASSERT_TRUE(net.execute_payment(3, 0, 1.0, nullptr, &tie).ok());
+  }
+  EXPECT_NEAR(via[1], trials / 2, trials * 0.06);
+  EXPECT_NEAR(via[2], trials / 2, trials * 0.06);
+}
+
+TEST(TieBreakRouting, UnevenPathCountsWeightSampling) {
+  // 0 -> 3 via 1 (one route) or via {2a, 2b} -> ... build: 0->1->4, and
+  // 0->2->4, 0->3->4: three 2-hop routes; each should get ~1/3.
+  network net(5);
+  net.open_channel(0, 1, 1e9, 1e9);
+  net.open_channel(1, 4, 1e9, 1e9);
+  net.open_channel(0, 2, 1e9, 1e9);
+  net.open_channel(2, 4, 1e9, 1e9);
+  net.open_channel(0, 3, 1e9, 1e9);
+  net.open_channel(3, 4, 1e9, 1e9);
+  rng tie(7);
+  std::map<graph::node_id, int> via;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const payment_result res =
+        net.execute_payment(0, 4, 1.0, nullptr, &tie);
+    ASSERT_TRUE(res.ok());
+    ++via[res.path[1]];
+    ASSERT_TRUE(net.execute_payment(4, 0, 1.0, nullptr, &tie).ok());
+  }
+  for (const graph::node_id mid : {1u, 2u, 3u}) {
+    EXPECT_NEAR(via[mid], trials / 3, trials * 0.06) << mid;
+  }
+}
+
+}  // namespace
+}  // namespace lcg::pcn

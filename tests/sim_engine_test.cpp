@@ -1,0 +1,160 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pcn/rates.h"
+
+namespace lcg::sim {
+namespace {
+
+dist::demand_model uniform_demand(const graph::digraph& g, double total) {
+  const dist::uniform_transaction_distribution u;
+  return dist::demand_model(g, u, total);
+}
+
+/// PCN shaped like a cycle with symmetric balances.
+pcn::network cycle_network(std::size_t n, double balance) {
+  pcn::network net(n);
+  for (graph::node_id v = 0; v < n; ++v) {
+    net.open_channel(v, static_cast<graph::node_id>((v + 1) % n), balance,
+                     balance);
+  }
+  return net;
+}
+
+TEST(Engine, ConservesTotalChannelFunds) {
+  pcn::network net = cycle_network(6, 50.0);
+  const graph::digraph topo = net.topology();
+  const auto demand = uniform_demand(topo, 10.0);
+  const dist::uniform_tx_size sizes(2.0);
+  workload_generator wl(demand, sizes, 5);
+  sim_config config;
+  config.horizon = 50.0;
+  const sim_metrics m = run_simulation(net, wl, config);
+  EXPECT_GT(m.attempted, 0u);
+  double total = 0.0;
+  for (pcn::channel_id id = 0; id < 6; ++id)
+    total += net.channel_at(id).total_capacity();
+  EXPECT_NEAR(total, 6 * 100.0, 1e-6);
+}
+
+TEST(Engine, FeeLedgerMatchesMetrics) {
+  pcn::network net = cycle_network(5, 100.0);
+  const graph::digraph topo = net.topology();
+  const auto demand = uniform_demand(topo, 8.0);
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 2);
+  const dist::constant_fee fee(0.125);
+  sim_config config;
+  config.horizon = 40.0;
+  config.fee = &fee;
+  const sim_metrics m = run_simulation(net, wl, config);
+  double earned = 0.0, paid = 0.0;
+  for (graph::node_id v = 0; v < 5; ++v) {
+    earned += m.fees_earned[v];
+    paid += m.fees_paid[v];
+    EXPECT_NEAR(net.fees_earned(v), m.fees_earned[v], 1e-9);
+  }
+  EXPECT_NEAR(earned, paid, 1e-9);
+  // Every forwarded hop pays exactly 0.125.
+  std::uint64_t forwards = 0;
+  for (graph::node_id v = 0; v < 5; ++v) forwards += m.forwarded[v];
+  EXPECT_NEAR(earned, 0.125 * static_cast<double>(forwards), 1e-9);
+}
+
+TEST(Engine, TinyBalancesCauseFailures) {
+  pcn::network net = cycle_network(6, 1.0);
+  const graph::digraph topo = net.topology();
+  const auto demand = uniform_demand(topo, 10.0);
+  const dist::uniform_tx_size sizes(3.0);  // most payments exceed capacity
+  workload_generator wl(demand, sizes, 9);
+  sim_config config;
+  config.horizon = 30.0;
+  const sim_metrics m = run_simulation(net, wl, config);
+  EXPECT_LT(m.success_rate(), 0.7);
+  EXPECT_GT(m.attempted, 0u);
+  EXPECT_LT(m.volume_delivered, m.volume_attempted);
+}
+
+TEST(Engine, BalanceResetRestoresThroughput) {
+  // Unidirectional traffic depletes channels; periodic resets sustain it.
+  const auto run = [](double reset_period) {
+    pcn::network net(3);
+    net.open_channel(0, 1, 30.0, 0.0);
+    net.open_channel(1, 2, 30.0, 0.0);
+    std::vector<std::vector<double>> rows{
+        {0.0, 0.0, 1.0}, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+    const dist::matrix_transaction_distribution matrix(rows);
+    dist::demand_model demand(net.topology(), matrix,
+                              std::vector<double>{5.0, 0.0, 0.0});
+    const dist::fixed_tx_size sizes(1.0);
+    workload_generator wl(demand, sizes, 4);
+    sim_config config;
+    config.horizon = 100.0;
+    config.balance_reset_period = reset_period;
+    pcn::network copy = net;
+    workload_generator wl_copy = wl;
+    return run_simulation(copy, wl_copy, config);
+  };
+  const sim_metrics depleted = run(0.0);
+  const sim_metrics refreshed = run(5.0);
+  EXPECT_LT(depleted.success_rate(), 0.2);  // ~30 of ~500 attempts
+  EXPECT_GT(refreshed.success_rate(), 0.9);
+}
+
+TEST(Engine, EdgeFlowTracking) {
+  pcn::network net = cycle_network(4, 100.0);
+  const graph::digraph topo = net.topology();
+  const auto demand = uniform_demand(topo, 6.0);
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 8);
+  sim_config config;
+  config.horizon = 20.0;
+  config.track_edge_flows = true;
+  const sim_metrics m = run_simulation(net, wl, config);
+  ASSERT_EQ(m.edge_flow.size(), topo.edge_slots());
+  std::uint64_t total_flow = 0;
+  for (const auto f : m.edge_flow) total_flow += f;
+  EXPECT_GE(total_flow, m.succeeded);  // every payment uses >= 1 edge
+}
+
+TEST(Engine, RevenueRateApproachesAnalyticExpectation) {
+  // Star PCN with ample balance and frequent resets: the centre's measured
+  // fee revenue per unit time should match E_rev = through_rate * f_avg.
+  const std::size_t leaves = 4;
+  pcn::network net(leaves + 1);
+  for (graph::node_id leaf = 1; leaf <= leaves; ++leaf)
+    net.open_channel(0, leaf, 500.0, 500.0);
+  const graph::digraph topo = net.topology();
+  const auto demand = uniform_demand(topo, 10.0);
+  const dist::fixed_tx_size sizes(1.0);
+  const dist::constant_fee fee(0.5);
+
+  const double analytic_rate =
+      pcn::node_through_rate(topo, demand, 0) * 0.5;
+
+  workload_generator wl(demand, sizes, 31);
+  sim_config config;
+  config.horizon = 400.0;
+  config.fee = &fee;
+  config.balance_reset_period = 10.0;
+  const sim_metrics m = run_simulation(net, wl, config);
+  ASSERT_GT(m.succeeded, 1000u);
+  EXPECT_NEAR(m.revenue_rate(0), analytic_rate, analytic_rate * 0.1);
+}
+
+TEST(Engine, ZeroHorizon) {
+  pcn::network net = cycle_network(4, 10.0);
+  const auto demand = uniform_demand(net.topology(), 5.0);
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 1);
+  sim_config config;
+  config.horizon = 0.0;
+  const sim_metrics m = run_simulation(net, wl, config);
+  EXPECT_EQ(m.attempted, 0u);
+  EXPECT_EQ(m.success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace lcg::sim

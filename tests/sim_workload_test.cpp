@@ -1,0 +1,121 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+#include "util/stats.h"
+
+namespace lcg::sim {
+namespace {
+
+dist::demand_model uniform_demand(const graph::digraph& g, double total) {
+  const dist::uniform_transaction_distribution u;
+  return dist::demand_model(g, u, total);
+}
+
+TEST(Workload, EventTimesAreIncreasingAndBounded) {
+  const graph::digraph g = graph::cycle_graph(6);
+  const auto demand = uniform_demand(g, 12.0);
+  const dist::uniform_tx_size sizes(2.0);
+  workload_generator wl(demand, sizes, 42);
+  const auto events = wl.generate(10.0);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  EXPECT_LT(events.back().time, 10.0);
+}
+
+TEST(Workload, PoissonCountMatchesRate) {
+  const graph::digraph g = graph::cycle_graph(5);
+  const double total_rate = 8.0;
+  const auto demand = uniform_demand(g, total_rate);
+  const dist::fixed_tx_size sizes(1.0);
+  lcg::running_stats counts;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    workload_generator wl(demand, sizes, seed);
+    counts.add(static_cast<double>(wl.generate(10.0).size()));
+  }
+  // Mean ~ rate * horizon = 80, variance ~ 80 (Poisson).
+  EXPECT_NEAR(counts.mean(), 80.0, 6.0);
+  EXPECT_NEAR(counts.variance(), 80.0, 40.0);
+}
+
+TEST(Workload, SenderFrequencyTracksRates) {
+  graph::digraph g(3);
+  g.add_bidirectional(0, 1);
+  g.add_bidirectional(1, 2);
+  const dist::uniform_transaction_distribution u;
+  // Node 1 sends 4x as much as the others.
+  dist::demand_model demand(g, u, std::vector<double>{1.0, 4.0, 1.0});
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 7);
+  std::map<graph::node_id, int> senders;
+  for (const auto& ev : wl.generate(2000.0 / 6.0)) ++senders[ev.sender];
+  const double total = senders[0] + senders[1] + senders[2];
+  EXPECT_NEAR(senders[1] / total, 4.0 / 6.0, 0.05);
+  EXPECT_NEAR(senders[0] / total, 1.0 / 6.0, 0.04);
+}
+
+TEST(Workload, ReceiverFollowsTransactionDistribution) {
+  // Zipf demand on a star: leaves mostly pay the centre.
+  const graph::digraph g = graph::star_graph(4);
+  const dist::zipf_transaction_distribution zipf(2.0);
+  dist::demand_model demand(g, zipf, 10.0);
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 11);
+  int to_center = 0, from_leaves = 0;
+  for (const auto& ev : wl.generate(400.0)) {
+    if (ev.sender != 0) {
+      ++from_leaves;
+      if (ev.receiver == 0) ++to_center;
+    }
+    EXPECT_NE(ev.sender, ev.receiver);
+  }
+  ASSERT_GT(from_leaves, 100);
+  const double expected = demand.pair_probability(1, 0);
+  EXPECT_NEAR(static_cast<double>(to_center) / from_leaves, expected, 0.05);
+}
+
+TEST(Workload, SizesComeFromDistribution) {
+  const graph::digraph g = graph::cycle_graph(4);
+  const auto demand = uniform_demand(g, 5.0);
+  const dist::uniform_tx_size sizes(3.0);
+  workload_generator wl(demand, sizes, 3);
+  lcg::running_stats stats;
+  for (const auto& ev : wl.generate(500.0)) {
+    ASSERT_GE(ev.amount, 0.0);
+    ASSERT_LE(ev.amount, 3.0);
+    stats.add(ev.amount);
+  }
+  EXPECT_NEAR(stats.mean(), 1.5, 0.1);
+}
+
+TEST(Workload, ZeroRateProducesNothing) {
+  const graph::digraph g = graph::cycle_graph(4);
+  const auto demand = uniform_demand(g, 0.0);
+  const dist::fixed_tx_size sizes(1.0);
+  workload_generator wl(demand, sizes, 1);
+  EXPECT_FALSE(wl.next().has_value());
+  EXPECT_TRUE(wl.generate(100.0).empty());
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const graph::digraph g = graph::cycle_graph(5);
+  const auto demand = uniform_demand(g, 5.0);
+  const dist::uniform_tx_size sizes(2.0);
+  workload_generator a(demand, sizes, 9);
+  workload_generator b(demand, sizes, 9);
+  const auto ea = a.generate(20.0);
+  const auto eb = b.generate(20.0);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].sender, eb[i].sender);
+    EXPECT_EQ(ea[i].receiver, eb[i].receiver);
+    EXPECT_DOUBLE_EQ(ea[i].amount, eb[i].amount);
+  }
+}
+
+}  // namespace
+}  // namespace lcg::sim

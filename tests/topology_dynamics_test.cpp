@@ -1,0 +1,144 @@
+// Best-response dynamics and social welfare (Section IV extensions).
+
+#include "topology/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "topology/welfare.h"
+
+namespace lcg::topology {
+namespace {
+
+TEST(Dynamics, EquilibriumStartConvergesImmediately) {
+  // A single channel is a NE: the dynamics stop in one round.
+  graph::digraph g(2);
+  g.add_bidirectional(0, 1);
+  game_params p{1.0, 1.0, 0.5, 1.0};
+  const dynamics_result r = best_response_dynamics(g, p);
+  EXPECT_EQ(r.outcome, dynamics_outcome::converged);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_TRUE(r.applied.empty());
+}
+
+TEST(Dynamics, StableStarStaysAStar) {
+  // Parameters in the Theorem 9 regime: the star is a NE, so starting from
+  // it the dynamics must not move.
+  game_params p{0.5, 0.5, 1.0, 2.0};
+  const graph::digraph g = graph::star_graph(5);
+  const dynamics_result r = best_response_dynamics(g, p);
+  EXPECT_EQ(r.outcome, dynamics_outcome::converged);
+  EXPECT_TRUE(r.applied.empty());
+  EXPECT_EQ(topology_fingerprint(r.final_graph), topology_fingerprint(g));
+}
+
+TEST(Dynamics, PathEvolvesAwayFromItself) {
+  // Theorem 10: paths are unstable, so dynamics must apply at least one
+  // deviation and whatever they converge to is not the original path.
+  game_params p{1.0, 1.0, 0.5, 1.0};
+  const graph::digraph start = graph::path_graph(5);
+  const dynamics_result r = best_response_dynamics(start, p);
+  EXPECT_FALSE(r.applied.empty());
+  EXPECT_NE(topology_fingerprint(r.final_graph),
+            topology_fingerprint(start));
+  if (r.outcome == dynamics_outcome::converged) {
+    // The terminal topology must be a Nash equilibrium.
+    EXPECT_TRUE(check_nash_equilibrium(r.final_graph, p).is_equilibrium);
+  }
+}
+
+TEST(Dynamics, ConvergedStateIsAlwaysNash) {
+  game_params p{1.0, 1.0, 0.8, 1.5};
+  rng gen(17);
+  for (int trial = 0; trial < 3; ++trial) {
+    const graph::digraph start = graph::erdos_renyi(5, 0.5, gen);
+    dynamics_options opts;
+    opts.max_rounds = 16;
+    const dynamics_result r = best_response_dynamics(start, p, opts);
+    if (r.outcome == dynamics_outcome::converged) {
+      EXPECT_TRUE(check_nash_equilibrium(r.final_graph, p).is_equilibrium)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Dynamics, FingerprintDistinguishesTopologies) {
+  const auto star = topology_fingerprint(graph::star_graph(4));
+  const auto path = topology_fingerprint(graph::path_graph(5));
+  const auto cycle = topology_fingerprint(graph::cycle_graph(5));
+  EXPECT_NE(star, path);
+  EXPECT_NE(path, cycle);
+  // Insensitive to edge insertion order.
+  graph::digraph a(3), b(3);
+  a.add_bidirectional(0, 1);
+  a.add_bidirectional(1, 2);
+  b.add_bidirectional(1, 2);
+  b.add_bidirectional(0, 1);
+  EXPECT_EQ(topology_fingerprint(a), topology_fingerprint(b));
+}
+
+TEST(Welfare, SumsComponents) {
+  const graph::digraph g = graph::star_graph(4);
+  game_params p{1.0, 1.0, 0.3, 1.0};
+  const welfare_report w = social_welfare(g, p);
+  const auto all = all_utilities(g, p);
+  double expected_total = 0.0, expected_cost = 0.0;
+  for (const auto& u : all) {
+    expected_total += u.total;
+    expected_cost += u.cost;
+  }
+  EXPECT_NEAR(w.total, expected_total, 1e-9);
+  EXPECT_NEAR(w.cost, expected_cost, 1e-9);
+  EXPECT_LE(w.min_utility, w.max_utility);
+  // 4 channels, each endpoint pays l: total cost 2 * l * 4.
+  EXPECT_NEAR(w.cost, 2.0 * p.l * 4.0, 1e-9);
+}
+
+TEST(Welfare, TotalCostCountsBothEndpoints) {
+  // n-channel topology with cost_share 1: every channel is paid l by each
+  // endpoint, so total cost = 2 * l * #channels.
+  const graph::digraph g = graph::cycle_graph(6);
+  game_params p{0.0, 0.0, 0.7, 1.0};
+  const welfare_report w = social_welfare(g, p);
+  EXPECT_NEAR(w.cost, 2.0 * 0.7 * 6.0, 1e-9);
+  EXPECT_NEAR(w.total, -w.cost, 1e-9);  // a = b = 0: utilities are pure cost
+}
+
+TEST(Welfare, FeesAreZeroSumWhenAEqualsB) {
+  // Every fee paid (a per hop) is a fee earned (b per forwarded tx); with
+  // a == b routing is a pure transfer and welfare collapses to the total
+  // channel cost: -2 * l * #channels, identical for star and path (both
+  // have n-1 channels). A non-obvious structural fact worth pinning.
+  game_params p{1.0, 1.0, 0.3, 2.0};
+  for (std::size_t n : {5u, 6u, 8u}) {
+    const double expected = -2.0 * p.l * static_cast<double>(n - 1);
+    EXPECT_NEAR(social_welfare(graph::star_graph(n - 1), p).total, expected,
+                1e-9);
+    EXPECT_NEAR(social_welfare(graph::path_graph(n), p).total, expected,
+                1e-9);
+  }
+}
+
+TEST(Welfare, CanonicalComparisonRanksStarHighWhenHopsAreCostly) {
+  // With a > b each hop destroys (a - b) in aggregate, so the star (fewest
+  // expected intermediaries) beats the path.
+  game_params p{2.0, 1.0, 0.3, 2.0};
+  const auto rows = canonical_topology_comparison(6, p);
+  ASSERT_EQ(rows.size(), 4u);
+  const auto find = [&](const std::string& name) {
+    for (const auto& row : rows) {
+      if (row.name == name) return row;
+    }
+    throw std::runtime_error("missing row");
+  };
+  EXPECT_GT(find("star").welfare.total, find("path").welfare.total);
+  EXPECT_GT(find("star").welfare.total, find("circle").welfare.total);
+  // The complete graph has zero fees but maximal channel cost.
+  EXPECT_NEAR(find("complete").welfare.fees, 0.0, 1e-9);
+  EXPECT_GT(find("complete").welfare.cost, find("star").welfare.cost);
+}
+
+}  // namespace
+}  // namespace lcg::topology

@@ -1,0 +1,120 @@
+// Section IV game utilities: hand-computed star values and bookkeeping.
+
+#include "topology/game.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/harmonic.h"
+
+namespace lcg::topology {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Game, StarLeafDefaultMatchesProofFormula) {
+  // Theorem 8 proof, default leaf strategy: E_rev = 0,
+  // E_fees = a * (H - 1)/H, cost = l. (H = H^s_n, n = #leaves.)
+  for (const double s : {0.0, 1.0, 2.0}) {
+    for (const std::size_t leaves : {3u, 5u, 8u}) {
+      game_params p{/*a=*/1.3, /*b=*/0.9, /*l=*/0.4, /*s=*/s};
+      const graph::digraph g = graph::star_graph(leaves);
+      const utility_breakdown u = node_utility(g, 1, p);
+      const double h = lcg::harmonic(leaves, s);
+      EXPECT_NEAR(u.revenue, 0.0, kTol);
+      EXPECT_NEAR(u.fees, p.a * (h - 1.0) / h, kTol) << s << " " << leaves;
+      EXPECT_NEAR(u.cost, p.l, kTol);
+      EXPECT_NEAR(u.total, -p.a * (h - 1.0) / h - p.l, kTol);
+    }
+  }
+}
+
+TEST(Game, StarCenterRevenue) {
+  // Centre routes every ordered leaf pair; each leaf x assigns every other
+  // leaf rf = (H-1)/(n-1), so p = ((H-1)/(n-1))/H, and there are
+  // n*(n-1) ordered pairs: E_rev = b * n * (H-1) / H.
+  const std::size_t leaves = 5;
+  const double s = 1.0;
+  game_params p{/*a=*/0.7, /*b=*/1.1, /*l=*/0.2, /*s=*/s};
+  const graph::digraph g = graph::star_graph(leaves);
+  const utility_breakdown u = node_utility(g, 0, p);
+  const double h = lcg::harmonic(leaves, s);
+  EXPECT_NEAR(u.revenue,
+              p.b * static_cast<double>(leaves) * (h - 1.0) / h, kTol);
+  EXPECT_NEAR(u.fees, 0.0, kTol);  // centre is adjacent to everyone
+  EXPECT_NEAR(u.cost, p.l * static_cast<double>(leaves), kTol);
+}
+
+TEST(Game, DisconnectedNodeHasMinusInfinity) {
+  graph::digraph g(3);
+  g.add_bidirectional(0, 1);
+  game_params p;
+  const utility_breakdown u = node_utility(g, 2, p);
+  EXPECT_TRUE(std::isinf(u.fees));
+  EXPECT_EQ(u.total, -std::numeric_limits<double>::infinity());
+}
+
+TEST(Game, IntermediaryCountingGivesDirectNeighborsZeroFees) {
+  // Two nodes with one channel: both have zero fees (0 intermediaries).
+  graph::digraph g(2);
+  g.add_bidirectional(0, 1);
+  game_params p{/*a=*/5.0, /*b=*/1.0, /*l=*/0.3, /*s=*/1.0};
+  const utility_breakdown u = node_utility(g, 0, p);
+  EXPECT_NEAR(u.fees, 0.0, kTol);
+  EXPECT_NEAR(u.total, -0.3, kTol);
+}
+
+TEST(Game, CostShareScalesCost) {
+  const graph::digraph g = graph::cycle_graph(5);
+  game_params full{1.0, 1.0, 0.8, 1.0, /*cost_share=*/1.0};
+  game_params half = full;
+  half.cost_share = 0.5;
+  EXPECT_NEAR(node_utility(g, 0, full).cost, 1.6, kTol);
+  EXPECT_NEAR(node_utility(g, 0, half).cost, 0.8, kTol);
+}
+
+TEST(Game, AllUtilitiesMatchesPerNode) {
+  const graph::digraph g = graph::cycle_graph(6);
+  game_params p{0.8, 1.2, 0.5, 1.5};
+  const auto all = all_utilities(g, p);
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    const utility_breakdown one = node_utility(g, v, p);
+    EXPECT_NEAR(all[v].revenue, one.revenue, kTol);
+    EXPECT_NEAR(all[v].fees, one.fees, kTol);
+    EXPECT_NEAR(all[v].cost, one.cost, kTol);
+  }
+}
+
+TEST(Game, CycleSymmetry) {
+  const graph::digraph g = graph::cycle_graph(7);
+  game_params p{1.0, 1.0, 0.5, 1.0};
+  const auto all = all_utilities(g, p);
+  for (graph::node_id v = 1; v < g.node_count(); ++v)
+    EXPECT_NEAR(all[v].total, all[0].total, 1e-9);
+}
+
+TEST(Game, ChannelPairsCoversEveryChannelOnce) {
+  const graph::digraph g = graph::cycle_graph(5);
+  const auto pairs = channel_pairs(g);
+  EXPECT_EQ(pairs.size(), 5u);
+  for (const channel_pair& cp : pairs) {
+    EXPECT_EQ(g.edge_at(cp.forward).src, cp.a);
+    EXPECT_EQ(g.edge_at(cp.forward).dst, cp.b);
+    EXPECT_EQ(g.edge_at(cp.reverse).src, cp.b);
+    EXPECT_EQ(g.edge_at(cp.reverse).dst, cp.a);
+  }
+}
+
+TEST(Game, ValidatesParams) {
+  game_params p;
+  p.a = -1.0;
+  EXPECT_THROW(p.validate(), lcg::precondition_error);
+  game_params q;
+  q.cost_share = 0.0;
+  EXPECT_THROW(q.validate(), lcg::precondition_error);
+}
+
+}  // namespace
+}  // namespace lcg::topology

@@ -1,0 +1,103 @@
+#include "topology/nash.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace lcg::topology {
+namespace {
+
+TEST(Nash, SingleChannelIsEquilibrium) {
+  // Two nodes, one channel: removing it means -infinity, nothing to add.
+  graph::digraph g(2);
+  g.add_bidirectional(0, 1);
+  game_params p{1.0, 1.0, 0.5, 1.0};
+  const nash_check_result r = check_nash_equilibrium(g, p);
+  EXPECT_TRUE(r.is_equilibrium);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_GT(r.deviations_checked, 0u);
+}
+
+TEST(Nash, PathOfThreeIsNotEquilibrium) {
+  const graph::digraph g = graph::path_graph(3);
+  game_params p{1.0, 1.0, 0.1, 1.0};
+  const nash_check_result r = check_nash_equilibrium(g, p);
+  EXPECT_FALSE(r.is_equilibrium);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_GT(r.witness->gain(), 0.0);
+}
+
+TEST(Nash, DeviatedUtilityMatchesManualRebuild) {
+  const graph::digraph g = graph::path_graph(4);
+  game_params p{1.0, 1.0, 0.3, 1.0};
+  deviation dev;
+  dev.deviator = 0;
+  dev.removed_peers = {1};
+  dev.added_peers = {2};
+  const double via_helper = deviated_utility(g, dev, p);
+
+  graph::digraph manual(4);
+  manual.add_bidirectional(1, 2);
+  manual.add_bidirectional(2, 3);
+  manual.add_bidirectional(0, 2);
+  EXPECT_NEAR(via_helper, node_utility(manual, 0, p).total, 1e-9);
+}
+
+TEST(Nash, RemovingOnlyChannelIsNeverProfitable) {
+  // Deviations that disconnect the deviator yield -infinity and are never
+  // selected as witnesses.
+  graph::digraph g(2);
+  g.add_bidirectional(0, 1);
+  game_params p{1.0, 1.0, 100.0, 1.0};  // enormous channel cost
+  const auto dev = best_deviation(g, 0, p);
+  EXPECT_FALSE(dev.has_value());
+}
+
+TEST(Nash, LimitsTruncateEnumeration) {
+  const graph::digraph g = graph::star_graph(6);
+  game_params p{1.0, 1.0, 0.5, 1.0};
+  deviation_limits limits;
+  limits.max_deviations_per_node = 2;
+  const nash_check_result r = check_nash_equilibrium(g, p, limits);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(Nash, MaxAddRestrictsFamilies) {
+  const graph::digraph g = graph::star_graph(5);
+  game_params p{1.0, 1.0, 0.01, 1.0};  // cheap channels: adding helps
+  deviation_limits none;
+  none.max_added = 0;
+  // With no additions allowed, a leaf can only remove (going disconnected)
+  // and the centre can only remove (disconnecting someone): equilibrium
+  // within this restricted family.
+  const nash_check_result restricted = check_nash_equilibrium(g, p, none);
+  EXPECT_TRUE(restricted.is_equilibrium);
+  // Unrestricted, cheap channels make leaf-to-leaf additions profitable.
+  const nash_check_result full = check_nash_equilibrium(g, p);
+  EXPECT_FALSE(full.is_equilibrium);
+}
+
+TEST(Nash, WitnessReportsBestGain) {
+  const graph::digraph g = graph::path_graph(4);
+  game_params p{1.0, 1.0, 0.05, 1.0};
+  const nash_check_result r = check_nash_equilibrium(g, p);
+  ASSERT_TRUE(r.witness.has_value());
+  // The witness gain must dominate each node's own best deviation.
+  for (graph::node_id u = 0; u < g.node_count(); ++u) {
+    const auto dev = best_deviation(g, u, p);
+    if (dev) EXPECT_GE(r.witness->gain(), dev->gain() - 1e-12);
+  }
+  // And the description mentions the deviator.
+  EXPECT_NE(r.witness->describe().find("node"), std::string::npos);
+}
+
+TEST(Nash, CompleteGraphWithFreeChannels) {
+  // With zero channel cost, the complete graph is an equilibrium: no
+  // additions possible, removals only lengthen distances.
+  const graph::digraph g = graph::complete_graph(4);
+  game_params p{1.0, 1.0, 0.0, 1.0};
+  EXPECT_TRUE(check_nash_equilibrium(g, p).is_equilibrium);
+}
+
+}  // namespace
+}  // namespace lcg::topology

@@ -1,0 +1,126 @@
+#include "util/enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/error.h"
+
+namespace lcg {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 0), 1u);
+  EXPECT_EQ(binomial(10, 10), 1u);
+  EXPECT_EQ(binomial(10, 11), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Compositions, CountMatchesFormula) {
+  for (std::uint64_t total : {0u, 1u, 4u, 7u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 4u}) {
+      const std::uint64_t visited = for_each_composition(
+          total, parts, [](const std::vector<std::uint64_t>&) { return true; });
+      EXPECT_EQ(visited, composition_count(total, parts))
+          << "total=" << total << " parts=" << parts;
+    }
+  }
+}
+
+TEST(Compositions, AllSumToTotalAndAreDistinct) {
+  std::set<std::vector<std::uint64_t>> seen;
+  for_each_composition(5, 3, [&](const std::vector<std::uint64_t>& c) {
+    EXPECT_EQ(std::accumulate(c.begin(), c.end(), 0ull), 5u);
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate composition";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), composition_count(5, 3));
+}
+
+TEST(Compositions, EarlyStop) {
+  int visits = 0;
+  const std::uint64_t visited =
+      for_each_composition(10, 3, [&](const std::vector<std::uint64_t>&) {
+        return ++visits < 4;
+      });
+  EXPECT_EQ(visited, 4u);
+  EXPECT_EQ(visits, 4);
+}
+
+TEST(BoundedPartitions, NonIncreasingAndBounded) {
+  std::set<std::vector<std::uint64_t>> seen;
+  for_each_bounded_partition(6, 3, [&](const std::vector<std::uint64_t>& p) {
+    EXPECT_TRUE(std::is_sorted(p.rbegin(), p.rend()));
+    EXPECT_LE(std::accumulate(p.begin(), p.end(), 0ull), 6u);
+    EXPECT_TRUE(seen.insert(p).second);
+    return true;
+  });
+  // Partitions of j into <= 3 parts summed over j = 0..6:
+  // j=0:1, 1:1, 2:2, 3:3, 4:4, 5:5, 6:7  -> 23
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(BoundedPartitions, SinglePart) {
+  std::vector<std::uint64_t> values;
+  for_each_bounded_partition(3, 1, [&](const std::vector<std::uint64_t>& p) {
+    values.push_back(p[0]);
+    return true;
+  });
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(SubsetsOfSize, CountsAndContents) {
+  std::set<std::vector<std::size_t>> seen;
+  const std::uint64_t visited = for_each_subset_of_size(
+      5, 3, [&](const std::vector<std::size_t>& s) {
+        EXPECT_EQ(s.size(), 3u);
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+        EXPECT_LT(s.back(), 5u);
+        seen.insert(s);
+        return true;
+      });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SubsetsOfSize, EdgeCases) {
+  int count = 0;
+  for_each_subset_of_size(4, 0, [&](const std::vector<std::size_t>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(for_each_subset_of_size(
+                3, 5, [](const std::vector<std::size_t>&) { return true; }),
+            0u);
+}
+
+TEST(AllSubsets, CountIsPowerOfTwo) {
+  std::set<std::vector<std::size_t>> seen;
+  const std::uint64_t visited =
+      for_each_subset(4, [&](const std::vector<std::size_t>& s) {
+        seen.insert(s);
+        return true;
+      });
+  EXPECT_EQ(visited, 16u);
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(AllSubsets, RejectsHugeN) {
+  EXPECT_THROW(for_each_subset(
+                   31, [](const std::vector<std::size_t>&) { return true; }),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace lcg

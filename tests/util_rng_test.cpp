@@ -1,0 +1,176 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace lcg {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  rng a(7);
+  rng child = a.split();
+  // Child should not replay the parent's output.
+  rng a2(7);
+  (void)a2();  // parent consumed one value for the split
+  EXPECT_NE(child(), a2());
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  rng gen(42);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = gen.uniform_int(-3, 7);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 7);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  rng gen(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  rng gen(42);
+  std::array<int, 10> counts{};
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i)
+    ++counts[static_cast<std::size_t>(gen.uniform_int(0, 9))];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, samples / 10, samples / 10 * 0.15);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng gen(9);
+  running_stats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = gen.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng gen(11);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  rng gen(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  rng gen(3);
+  running_stats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(gen.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  rng gen(5);
+  running_stats stats;
+  for (int i = 0; i < 50000; ++i)
+    stats.add(static_cast<double>(gen.poisson(3.5)));
+  EXPECT_NEAR(stats.mean(), 3.5, 0.1);
+  EXPECT_NEAR(stats.variance(), 3.5, 0.2);
+}
+
+TEST(Rng, PoissonLargeMeanUsesPtrsAndMatchesMoments) {
+  rng gen(6);
+  running_stats stats;
+  for (int i = 0; i < 50000; ++i)
+    stats.add(static_cast<double>(gen.poisson(120.0)));
+  EXPECT_NEAR(stats.mean(), 120.0, 1.0);
+  EXPECT_NEAR(stats.variance(), 120.0, 6.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  rng gen(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.poisson(0.0), 0u);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  rng gen(8);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[gen.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsBadInputs) {
+  rng gen(1);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW((void)gen.discrete(zero), precondition_error);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW((void)gen.discrete(negative), precondition_error);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  rng gen(13);
+  const std::vector<double> weights{0.5, 0.0, 2.0, 1.5};
+  const alias_table table(weights);
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(gen)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.125, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.375, 0.01);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  rng gen(1);
+  const std::vector<double> weights{2.0};
+  const alias_table table(weights);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.sample(gen), 0u);
+}
+
+TEST(AliasTable, RejectsEmptyAndZeroMass) {
+  EXPECT_THROW(alias_table(std::vector<double>{}), precondition_error);
+  EXPECT_THROW(alias_table(std::vector<double>{0.0, 0.0}),
+               precondition_error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  rng gen(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  gen.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+}  // namespace
+}  // namespace lcg

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace lcg {
+namespace {
+
+TEST(Table, PrintsAlignedRows) {
+  table t({"name", "value"});
+  t.add_row({std::string("alpha"), 42ll});
+  t.add_row({std::string("b"), 7ll});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator lines present.
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("he said \"hi\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, DoublePrecisionApplies) {
+  table t({"v"});
+  t.set_double_precision(2);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.1415"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1ll}), precondition_error);
+  EXPECT_THROW(table({}), precondition_error);
+}
+
+TEST(Table, RowCount) {
+  table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1ll});
+  t.add_row({2ll});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace lcg
