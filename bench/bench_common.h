@@ -1,4 +1,9 @@
 // Shared fixtures for the experiment binaries.
+//
+// The actual fixture code lives in runner/fixtures.h so the scenario runner
+// (src/runner/) and these standalone benchmark binaries share one
+// implementation; this header only aliases it into lcg::bench and keeps the
+// bench-local print helper.
 
 #ifndef LCG_BENCH_COMMON_H
 #define LCG_BENCH_COMMON_H
@@ -6,65 +11,19 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "core/objective.h"
-#include "core/rate_estimator.h"
-#include "core/utility.h"
 #include "graph/generators.h"
-#include "util/rng.h"
+#include "runner/fixtures.h"
 #include "util/table.h"
 
 namespace lcg::bench {
 
-/// A joining-node problem instance on a connected random host.
-struct join_instance {
-  graph::digraph host;
-  std::unique_ptr<core::utility_model> model;
-  std::unique_ptr<core::full_connection_rate_estimator> estimator;
-  std::unique_ptr<core::estimated_objective> objective;
-  std::vector<graph::node_id> candidates;
-};
-
-inline join_instance make_join_instance(std::uint64_t seed, std::size_t n,
-                                        core::model_params params,
-                                        double zipf_s = 1.0,
-                                        double total_rate = -1.0,
-                                        bool barabasi = true) {
-  join_instance inst;
-  rng gen(seed);
-  if (barabasi && n > 3) {
-    inst.host = graph::barabasi_albert(n, 2, gen);
-  } else {
-    inst.host = graph::erdos_renyi(n, 0.3, gen);
-    for (graph::node_id v = 0; v < n; ++v) {
-      const auto next = static_cast<graph::node_id>((v + 1) % n);
-      if (inst.host.find_edge(v, next) == graph::invalid_edge)
-        inst.host.add_bidirectional(v, next);
-    }
-  }
-  if (total_rate < 0.0) total_rate = static_cast<double>(n);
-  inst.model = std::make_unique<core::utility_model>(
-      core::make_zipf_model(inst.host, zipf_s, total_rate, params));
-  inst.candidates.resize(n);
-  for (graph::node_id v = 0; v < n; ++v) inst.candidates[v] = v;
-  inst.estimator = std::make_unique<core::full_connection_rate_estimator>(
-      *inst.model, inst.candidates);
-  inst.objective = std::make_unique<core::estimated_objective>(*inst.model,
-                                                               *inst.estimator);
-  return inst;
-}
+using runner::join_instance;
+using runner::make_join_instance;
 
 inline core::model_params default_params() {
-  core::model_params p;
-  p.onchain_cost = 1.0;
-  p.opportunity_rate = 0.02;
-  p.fee_avg = 3.0;
-  p.fee_avg_tx = 0.5;
-  p.user_tx_rate = 1.0;
-  return p;
+  return runner::default_model_params();
 }
 
 inline void print_header(const std::string& id, const std::string& claim) {

@@ -1,23 +1,28 @@
 // Quickstart: decide how a new node should join a small payment channel
 // network.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--csv]
 //
 // Builds a 12-node host PCN, defines the paper's utility model (routing
 // revenue vs fees vs channel costs under a Zipf transaction distribution),
 // and runs Algorithm 1 (greedy) to pick the channels for a budget of 10
-// coins.
+// coins. Results are emitted through util/table.h — aligned for humans by
+// default, RFC-4180 CSV with --csv — so runs are machine-diffable.
 
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/greedy.h"
 #include "core/rate_estimator.h"
 #include "core/utility.h"
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcg;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
 
   // 1. A host network: 12 nodes wired by preferential attachment (a stand-in
   //    for a Lightning-like heavy-tailed topology).
@@ -51,13 +56,23 @@ int main() {
   const core::greedy_result result = core::greedy_fixed_lock(
       objective, candidates, lock, max_channels);
 
-  std::cout << "budget " << budget << " admits " << max_channels
-            << " channels of lock " << lock << "\n";
-  std::cout << "greedy picks peers:";
-  for (const core::action& a : result.chosen) std::cout << " " << a.peer;
-  std::cout << "\nestimated U' = " << result.objective_value
-            << "\nexact E_rev  = " << model.expected_revenue(result.chosen)
-            << "\nexact E_fees = " << model.expected_fees(result.chosen)
-            << "\nexact U      = " << model.utility(result.chosen) << "\n";
+  std::string peers;
+  for (const core::action& a : result.chosen) {
+    if (!peers.empty()) peers += "+";
+    peers += std::to_string(a.peer);
+  }
+
+  table t({"budget", "lock", "max_channels", "chosen_peers", "estimated_u",
+           "exact_e_rev", "exact_e_fees", "exact_u"});
+  t.add_row({budget, lock, static_cast<long long>(max_channels), peers,
+             result.objective_value,
+             model.expected_revenue(result.chosen),
+             model.expected_fees(result.chosen),
+             model.utility(result.chosen)});
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
   return 0;
 }

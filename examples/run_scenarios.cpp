@@ -1,0 +1,257 @@
+// lcg_run: the scenario-runner CLI.
+//
+//   lcg_run --list                         show registered scenarios
+//   lcg_run                                run every default sweep
+//   lcg_run --filter 'join/*' --jobs 8     parallel sweep of one family
+//   lcg_run --set n=50 --seeds 5           override a parameter, replicate
+//   lcg_run --out results.csv              write CSV (default: stdout)
+//
+// Output rows are byte-identical for any --jobs value (row order follows
+// job order); progress and timing go to stderr so stdout stays machine-
+// readable.
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/executor.h"
+#include "runner/grid.h"
+#include "runner/registry.h"
+#include "runner/reporter.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lcg;
+
+struct cli_options {
+  bool list = false;
+  bool quiet = false;
+  std::vector<std::string> filters;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::uint32_t seeds = 1;
+  std::uint64_t base_seed = 42;
+  std::string out_path;  // empty = stdout
+  std::string format = "csv";
+  std::vector<std::pair<std::string, runner::value>> overrides;
+};
+
+runner::value parse_value(const std::string& text) {
+  long long i = 0;
+  auto [iptr, iec] =
+      std::from_chars(text.data(), text.data() + text.size(), i);
+  if (iec == std::errc() && iptr == text.data() + text.size()) return i;
+  double d = 0.0;
+  auto [dptr, dec] =
+      std::from_chars(text.data(), text.data() + text.size(), d);
+  if (dec == std::errc() && dptr == text.data() + text.size()) return d;
+  return text;
+}
+
+/// Whole-string unsigned parse; nullopt on junk, sign, or overflow (so
+/// "--jobs abc" and "--seeds -1" are flag errors, not aborts or 4e9 jobs).
+std::optional<std::uint64_t> parse_uint(const std::string& text) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return std::nullopt;
+  return v;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: lcg_run [--list] [--filter GLOB]... [--set KEY=VALUE]...\n"
+        "               [--jobs N] [--seeds K] [--seed S]\n"
+        "               [--out FILE] [--format csv|jsonl] [--quiet]\n";
+}
+
+std::optional<cli_options> parse_args(int argc, char** argv) {
+  cli_options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "lcg_run: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--filter") {
+      const char* v = need_value("--filter");
+      if (!v) return std::nullopt;
+      opt.filters.emplace_back(v);
+    } else if (arg == "--jobs" || arg == "--seeds" || arg == "--seed") {
+      const char* v = need_value(arg.c_str());
+      if (!v) return std::nullopt;
+      const std::optional<std::uint64_t> parsed = parse_uint(v);
+      if (!parsed) {
+        std::cerr << "lcg_run: " << arg << " expects a non-negative integer, "
+                  << "got '" << v << "'\n";
+        return std::nullopt;
+      }
+      if (arg == "--jobs") {
+        opt.jobs = static_cast<std::size_t>(*parsed);
+      } else if (arg == "--seeds") {
+        if (*parsed > 0xffffffffULL) {
+          std::cerr << "lcg_run: --seeds is implausibly large\n";
+          return std::nullopt;
+        }
+        opt.seeds = static_cast<std::uint32_t>(*parsed);
+      } else {
+        opt.base_seed = *parsed;
+      }
+    } else if (arg == "--out") {
+      const char* v = need_value("--out");
+      if (!v) return std::nullopt;
+      opt.out_path = v;
+    } else if (arg == "--format") {
+      const char* v = need_value("--format");
+      if (!v) return std::nullopt;
+      opt.format = v;
+      if (opt.format != "csv" && opt.format != "jsonl") {
+        std::cerr << "lcg_run: unknown format '" << opt.format << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--set") {
+      const char* v = need_value("--set");
+      if (!v) return std::nullopt;
+      const std::string kv = v;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "lcg_run: --set expects KEY=VALUE, got '" << kv << "'\n";
+        return std::nullopt;
+      }
+      opt.overrides.emplace_back(kv.substr(0, eq),
+                                 parse_value(kv.substr(eq + 1)));
+    } else {
+      std::cerr << "lcg_run: unknown argument '" << arg << "'\n";
+      print_usage(std::cerr);
+      return std::nullopt;
+    }
+  }
+  if (opt.seeds == 0) {
+    std::cerr << "lcg_run: --seeds must be >= 1\n";
+    return std::nullopt;
+  }
+  return opt;
+}
+
+std::vector<const runner::scenario*> select_scenarios(
+    const cli_options& opt) {
+  const runner::registry& reg = runner::registry::global();
+  if (opt.filters.empty()) return reg.all();
+  std::vector<const runner::scenario*> selected;
+  for (const std::string& pattern : opt.filters) {
+    for (const runner::scenario* sc : reg.match(pattern)) {
+      if (std::find(selected.begin(), selected.end(), sc) == selected.end())
+        selected.push_back(sc);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  return selected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<cli_options> parsed = parse_args(argc, argv);
+  if (!parsed) return 2;
+  const cli_options& opt = *parsed;
+
+  runner::register_builtin_scenarios();
+  const std::vector<const runner::scenario*> scenarios =
+      select_scenarios(opt);
+
+  if (opt.list) {
+    for (const runner::scenario* sc : scenarios) {
+      runner::param_grid grid(sc->default_sweep);
+      std::cout << sc->name << "  [" << grid.size() << " default job(s)]\n"
+                << "    " << sc->description << "\n";
+      for (const auto& [key, values] : grid.axes())
+        std::cout << "    " << key << ": " << values.size() << " value(s)\n";
+    }
+    std::cerr << scenarios.size() << " scenario(s)\n";
+    return 0;
+  }
+  if (scenarios.empty()) {
+    std::cerr << "lcg_run: no scenario matches the given filters\n";
+    return 1;
+  }
+
+  // A --set key that is no scenario's sweep axis is probably a typo; it
+  // still reaches the scenario (they may read non-swept parameters), so
+  // warn rather than fail.
+  for (const auto& [key, v] : opt.overrides) {
+    bool is_axis = false;
+    for (const runner::scenario* sc : scenarios)
+      for (const auto& [axis, values] : sc->default_sweep)
+        if (axis == key) is_axis = true;
+    if (!is_axis && !opt.quiet) {
+      std::cerr << "lcg_run: note: '" << key
+                << "' is not a default sweep axis of any selected scenario; "
+                   "passing it through (scenarios ignore unknown "
+                   "parameters)\n";
+    }
+  }
+
+  // Expand: default sweeps with CLI overrides pinned on top.
+  std::vector<runner::job> jobs;
+  for (const runner::scenario* sc : scenarios) {
+    runner::param_grid grid(sc->default_sweep);
+    for (const auto& [key, v] : opt.overrides) grid.set(key, v);
+    std::vector<runner::job> expanded =
+        runner::expand_jobs(*sc, grid, opt.seeds, opt.base_seed);
+    std::move(expanded.begin(), expanded.end(), std::back_inserter(jobs));
+  }
+
+  runner::run_options run_opt;
+  run_opt.jobs = opt.jobs;
+  if (!opt.quiet) {
+    run_opt.on_progress = [](std::size_t done, std::size_t total,
+                             const runner::job_result& r) {
+      std::cerr << "\r[" << done << "/" << total << "] " << r.scenario
+                << (r.ok() ? "" : "  FAILED") << "        ";
+      if (done == total) std::cerr << "\n";
+    };
+  }
+
+  lcg::stopwatch timer;
+  const std::vector<runner::job_result> results =
+      runner::run_jobs(jobs, run_opt);
+
+  std::ofstream file;
+  if (!opt.out_path.empty()) {
+    file.open(opt.out_path);
+    if (!file) {
+      std::cerr << "lcg_run: cannot open '" << opt.out_path
+                << "' for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& os = opt.out_path.empty() ? std::cout : file;
+  if (opt.format == "csv") {
+    runner::write_csv(os, results);
+  } else {
+    runner::write_jsonl(os, results);
+  }
+
+  const runner::run_summary summary = runner::summarise(results);
+  if (!opt.quiet) {
+    std::cerr << "wall " << timer.elapsed_seconds() << "s: ";
+    runner::write_summary(std::cerr, summary);
+  }
+  return summary.failed == 0 ? 0 : 1;
+}

@@ -1,11 +1,14 @@
 // topology_stability: which simple topologies are Nash equilibria?
 //
-//   $ ./examples/topology_stability
+//   $ ./examples/topology_stability [--csv]
 //
-// Reproduces the Section IV story interactively: a (s, l) stability map
-// for the star, the universal instability of the path, and the circle's
-// destabilisation size n0 as channel costs grow.
+// Reproduces the Section IV story: a (s, l) stability map for the star, the
+// universal instability of the path, and the circle's destabilisation size
+// n0 as channel costs grow. All three result series go through util/table.h
+// — aligned tables plus commentary by default, bare RFC-4180 CSV with
+// --csv, so example output is machine-diffable.
 
+#include <cstring>
 #include <iostream>
 
 #include "graph/generators.h"
@@ -14,16 +17,32 @@
 #include "topology/star.h"
 #include "util/table.h"
 
-int main() {
-  using namespace lcg;
+namespace {
 
-  std::cout << "== Star stability map (5 leaves, a = b = 1) ==\n"
-            << "closed-form Theorem 8 conditions vs exhaustive deviation "
-               "check\n\n";
+bool csv_mode = false;
+
+void emit(lcg::table& t, const char* title, const char* commentary) {
+  if (csv_mode) {
+    t.print_csv(std::cout);
+    return;
+  }
+  std::cout << "== " << title << " ==\n\n";
+  t.print(std::cout);
+  std::cout << commentary << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lcg;
+  csv_mode = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
   {
-    table t({"s \\ l", "0.05", "0.2", "0.5", "1.0"});
+    // Star stability map (5 leaves, a = b = 1): closed-form Theorem 8
+    // conditions vs exhaustive deviation check, cells "closed/numeric".
+    table t({"s", "l=0.05", "l=0.2", "l=0.5", "l=1.0"});
     for (const double s : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-      std::vector<table_cell> row{std::to_string(s)};
+      std::vector<table_cell> row{s};
       for (const double l : {0.05, 0.2, 0.5, 1.0}) {
         topology::game_params p{1.0, 1.0, l, s};
         const bool closed = topology::star_is_ne_closed_form(5, p);
@@ -35,15 +54,14 @@ int main() {
       }
       t.add_row(row);
     }
-    t.print(std::cout);
-    std::cout << "(cells: closed-form / numeric. Stars stabilise as s grows "
-                 "— traffic concentrates on the hub — or as channels get "
-                 "expensive.)\n\n";
+    emit(t, "Star stability map (5 leaves, a = b = 1)",
+         "(cells: closed-form / numeric. Stars stabilise as s grows — "
+         "traffic concentrates on the hub — or as channels get expensive.)");
   }
 
-  std::cout << "== Path instability (Theorem 10) ==\n\n";
   {
-    table t({"n", "endpoint's best rewiring", "gain"});
+    // Path instability (Theorem 10).
+    table t({"n", "endpoint_best_rewiring", "gain"});
     for (const std::size_t n : {4u, 6u, 8u}) {
       topology::game_params p{1.0, 1.0, 0.5, 1.0};
       const auto dev = topology::path_endpoint_deviation(n, p);
@@ -51,14 +69,14 @@ int main() {
                  dev ? dev->describe() : std::string("(none)"),
                  dev ? dev->gain() : 0.0});
     }
-    t.print(std::cout);
-    std::cout << "(an endpoint always prefers an interior attachment: same "
-                 "cost, same zero revenue, strictly lower fees.)\n\n";
+    emit(t, "Path instability (Theorem 10)",
+         "(an endpoint always prefers an interior attachment: same cost, "
+         "same zero revenue, strictly lower fees.)");
   }
 
-  std::cout << "== Circle destabilisation (Theorem 11) ==\n\n";
   {
-    table t({"edge cost l", "first unstable n0", "gain at n0 + 8"});
+    // Circle destabilisation (Theorem 11).
+    table t({"edge_cost_l", "first_unstable_n0", "gain_at_n0_plus_8"});
     for (const double l : {0.5, 1.0, 2.0}) {
       topology::game_params p{1.0, 1.0, l, 1.0};
       const auto n0 = topology::circle_first_unstable_n(4, 200, p);
@@ -69,9 +87,9 @@ int main() {
         t.add_row({l, static_cast<long long>(-1), 0.0});
       }
     }
-    t.print(std::cout);
-    std::cout << "(beyond n0, connecting to the opposite node pays for "
-                 "itself; larger edge costs delay but never prevent it.)\n";
+    emit(t, "Circle destabilisation (Theorem 11)",
+         "(beyond n0, connecting to the opposite node pays for itself; "
+         "larger edge costs delay but never prevent it.)");
   }
   return 0;
 }

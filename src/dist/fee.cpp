@@ -1,0 +1,39 @@
+#include "dist/fee.h"
+
+#include "util/error.h"
+
+namespace lcg::dist {
+
+constant_fee::constant_fee(double fee) : fee_(fee) { LCG_EXPECTS(fee >= 0.0); }
+
+double constant_fee::operator()(double amount) const {
+  LCG_EXPECTS(amount >= 0.0);
+  return fee_;
+}
+
+linear_fee::linear_fee(double base, double rate) : base_(base), rate_(rate) {
+  LCG_EXPECTS(base >= 0.0);
+  LCG_EXPECTS(rate >= 0.0);
+}
+
+double linear_fee::operator()(double amount) const {
+  LCG_EXPECTS(amount >= 0.0);
+  return base_ + rate_ * amount;
+}
+
+double average_fee(const fee_function& fee, const tx_size_distribution& sizes,
+                   std::size_t panels) {
+  LCG_EXPECTS(panels >= 2 && panels % 2 == 0);
+  if (sizes.deterministic()) return fee(sizes.mean());
+  const double hi = sizes.max_size();
+  const double h = hi / static_cast<double>(panels);
+  const auto f = [&](double x) { return fee(x) * sizes.pdf(x); };
+  double sum = f(0.0) + f(hi);
+  for (std::size_t i = 1; i < panels; ++i) {
+    const double x = h * static_cast<double>(i);
+    sum += f(x) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace lcg::dist

@@ -1,0 +1,52 @@
+// Routing-fee functions (the paper's F, Section II-A).
+//
+// A fee function maps a transaction amount to the fee each intermediary
+// charges for forwarding it. The analytic model only ever consumes the
+// *average* fee f_avg = E[F(X)] over the transaction-size distribution
+// (Section IV assumptions 1-2); `average_fee` computes that expectation.
+
+#ifndef LCG_DIST_FEE_H
+#define LCG_DIST_FEE_H
+
+#include "dist/tx_size.h"
+
+namespace lcg::dist {
+
+class fee_function {
+ public:
+  virtual ~fee_function() = default;
+  /// Fee one intermediary charges for forwarding `amount` (>= 0).
+  [[nodiscard]] virtual double operator()(double amount) const = 0;
+};
+
+/// F(x) = c: every forwarded transaction pays the same fee.
+class constant_fee final : public fee_function {
+ public:
+  explicit constant_fee(double fee);
+  double operator()(double amount) const override;
+
+ private:
+  double fee_;
+};
+
+/// F(x) = base + rate * x: Lightning's base-fee + proportional model.
+class linear_fee final : public fee_function {
+ public:
+  linear_fee(double base, double rate);
+  double operator()(double amount) const override;
+
+ private:
+  double base_;
+  double rate_;
+};
+
+/// f_avg = E[fee(X)] for X ~ sizes, by composite Simpson integration of
+/// fee(x) * pdf(x) over [0, max_size] with `panels` subintervals (must be
+/// even and >= 2). Point-mass distributions short-circuit to fee(mean).
+[[nodiscard]] double average_fee(const fee_function& fee,
+                                 const tx_size_distribution& sizes,
+                                 std::size_t panels = 256);
+
+}  // namespace lcg::dist
+
+#endif  // LCG_DIST_FEE_H

@@ -1,0 +1,60 @@
+#include "dist/tx_size.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lcg::dist {
+
+fixed_tx_size::fixed_tx_size(double size) : size_(size) {
+  LCG_EXPECTS(size > 0.0);
+}
+
+uniform_tx_size::uniform_tx_size(double max) : max_(max) {
+  LCG_EXPECTS(max > 0.0);
+}
+
+double uniform_tx_size::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= max_) return 1.0;
+  return t / max_;
+}
+
+double uniform_tx_size::pdf(double x) const {
+  return x >= 0.0 && x <= max_ ? 1.0 / max_ : 0.0;
+}
+
+double uniform_tx_size::sample(rng& gen) const {
+  return gen.uniform_real(0.0, max_);
+}
+
+truncated_exponential_tx_size::truncated_exponential_tx_size(double rate,
+                                                             double max)
+    : rate_(rate), max_(max), z_(-std::expm1(-rate * max)) {
+  LCG_EXPECTS(rate > 0.0);
+  LCG_EXPECTS(max > 0.0);
+}
+
+double truncated_exponential_tx_size::mean() const {
+  // E[X | X <= max] = 1/rate - max * exp(-rate*max) / (1 - exp(-rate*max)).
+  return 1.0 / rate_ - max_ * std::exp(-rate_ * max_) / z_;
+}
+
+double truncated_exponential_tx_size::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= max_) return 1.0;
+  return -std::expm1(-rate_ * t) / z_;
+}
+
+double truncated_exponential_tx_size::pdf(double x) const {
+  if (x < 0.0 || x > max_) return 0.0;
+  return rate_ * std::exp(-rate_ * x) / z_;
+}
+
+double truncated_exponential_tx_size::sample(rng& gen) const {
+  // Inversion restricted to the truncated range.
+  const double u = gen.uniform01();
+  return -std::log1p(-u * z_) / rate_;
+}
+
+}  // namespace lcg::dist

@@ -1,0 +1,81 @@
+// Transaction-size distributions (the paper's x, Section II-B).
+//
+// The analytic model reduces sizes to a capacity threshold (a channel of
+// capacity c admits a transaction of size x iff x <= c, hence the cdf-based
+// capacity discount in core/rate_estimator.h); the simulator samples real
+// sizes from the same distribution. All distributions here are supported on
+// a bounded interval [0, max_size()] so that average_fee (dist/fee.h) can
+// integrate against them.
+
+#ifndef LCG_DIST_TX_SIZE_H
+#define LCG_DIST_TX_SIZE_H
+
+#include "util/rng.h"
+
+namespace lcg::dist {
+
+class tx_size_distribution {
+ public:
+  virtual ~tx_size_distribution() = default;
+
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Upper end of the support (finite for every distribution here).
+  [[nodiscard]] virtual double max_size() const = 0;
+  /// P(size <= t).
+  [[nodiscard]] virtual double cdf(double t) const = 0;
+  /// Density at x (0 outside the support; point masses report 0 and set
+  /// `deterministic()` instead).
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+  [[nodiscard]] virtual double sample(rng& gen) const = 0;
+  /// True iff the distribution is a single point mass at mean().
+  [[nodiscard]] virtual bool deterministic() const { return false; }
+};
+
+/// Every transaction has the same size (the paper's default x = 1).
+class fixed_tx_size final : public tx_size_distribution {
+ public:
+  explicit fixed_tx_size(double size);
+  double mean() const override { return size_; }
+  double max_size() const override { return size_; }
+  double cdf(double t) const override { return t >= size_ ? 1.0 : 0.0; }
+  double pdf(double) const override { return 0.0; }
+  double sample(rng&) const override { return size_; }
+  bool deterministic() const override { return true; }
+
+ private:
+  double size_;
+};
+
+/// Uniform on [0, max].
+class uniform_tx_size final : public tx_size_distribution {
+ public:
+  explicit uniform_tx_size(double max);
+  double mean() const override { return max_ / 2.0; }
+  double max_size() const override { return max_; }
+  double cdf(double t) const override;
+  double pdf(double x) const override;
+  double sample(rng& gen) const override;
+
+ private:
+  double max_;
+};
+
+/// Exponential(rate) truncated to [0, max] (renormalised).
+class truncated_exponential_tx_size final : public tx_size_distribution {
+ public:
+  truncated_exponential_tx_size(double rate, double max);
+  double mean() const override;
+  double max_size() const override { return max_; }
+  double cdf(double t) const override;
+  double pdf(double x) const override;
+  double sample(rng& gen) const override;
+
+ private:
+  double rate_;
+  double max_;
+  double z_;  // normalising constant 1 - exp(-rate * max)
+};
+
+}  // namespace lcg::dist
+
+#endif  // LCG_DIST_TX_SIZE_H

@@ -1,0 +1,114 @@
+#include "dist/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace lcg::dist {
+
+namespace {
+
+/// In-degrees of every node; when `exclude` is valid, edges incident to it
+/// are removed first (its own in-degree entry is not used by callers).
+std::vector<std::size_t> in_degrees(const graph::digraph& g,
+                                    graph::node_id exclude) {
+  std::vector<std::size_t> deg(g.node_count(), 0);
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    std::size_t d = 0;
+    g.for_each_in(v, [&](graph::edge_id, const graph::edge& e) {
+      if (exclude == graph::invalid_node ||
+          (e.src != exclude && e.dst != exclude))
+        ++d;
+    });
+    deg[v] = d;
+  }
+  return deg;
+}
+
+/// Shared core: normalised rank factors over the nodes != u (p[u] = 0).
+std::vector<double> sender_row(const graph::digraph& g, graph::node_id u,
+                               double s, rank_basis basis) {
+  LCG_EXPECTS(g.has_node(u));
+  const std::vector<std::size_t> deg = in_degrees(
+      g, basis == rank_basis::drop_sender_edges ? u : graph::invalid_node);
+
+  // Rank the other n-1 nodes only.
+  std::vector<std::size_t> others;
+  others.reserve(g.node_count() - 1);
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    if (v != u) others.push_back(deg[v]);
+  const std::vector<double> rf = rank_factors(others, s);
+
+  std::vector<double> p(g.node_count(), 0.0);
+  const double total = std::accumulate(rf.begin(), rf.end(), 0.0);
+  if (total <= 0.0) return p;
+  std::size_t i = 0;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (v == u) continue;
+    p[v] = rf[i++] / total;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> rank_factors(const std::vector<std::size_t>& degrees,
+                                 double s) {
+  LCG_EXPECTS(s >= 0.0);
+  const std::size_t n = degrees.size();
+  std::vector<double> rf(n, 0.0);
+  if (n == 0) return rf;
+
+  // Indices sorted by degree descending; equal degrees form a tie block.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&degrees](std::size_t a, std::size_t b) {
+                     return degrees[a] > degrees[b];
+                   });
+
+  std::size_t block_start = 0;
+  while (block_start < n) {
+    std::size_t block_end = block_start + 1;
+    while (block_end < n &&
+           degrees[order[block_end]] == degrees[order[block_start]])
+      ++block_end;
+    // The block occupies ranks [block_start+1, block_end]; average its mass.
+    double mass = 0.0;
+    for (std::size_t r = block_start + 1; r <= block_end; ++r)
+      mass += std::pow(static_cast<double>(r), -s);
+    mass /= static_cast<double>(block_end - block_start);
+    for (std::size_t i = block_start; i < block_end; ++i)
+      rf[order[i]] = mass;
+    block_start = block_end;
+  }
+  return rf;
+}
+
+std::vector<double> transaction_probabilities(const graph::digraph& g,
+                                              graph::node_id u, double s,
+                                              rank_basis basis) {
+  return sender_row(g, u, s, basis);
+}
+
+std::vector<std::vector<double>> transaction_probability_matrix(
+    const graph::digraph& g, double s, rank_basis basis) {
+  std::vector<std::vector<double>> rows(g.node_count());
+  for (graph::node_id u = 0; u < g.node_count(); ++u)
+    rows[u] = sender_row(g, u, s, basis);
+  return rows;
+}
+
+std::vector<double> newcomer_transaction_probabilities(
+    const graph::digraph& g, double s) {
+  const std::vector<std::size_t> deg = in_degrees(g, graph::invalid_node);
+  std::vector<double> rf = rank_factors(deg, s);
+  const double total = std::accumulate(rf.begin(), rf.end(), 0.0);
+  if (total > 0.0)
+    for (double& f : rf) f /= total;
+  return rf;
+}
+
+}  // namespace lcg::dist

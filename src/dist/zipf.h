@@ -1,0 +1,56 @@
+// The paper's modified Zipf transaction distribution (Section II-B).
+//
+// Receivers are ranked by in-degree (highest degree = rank 1); a receiver's
+// raw Zipf mass is 1/rank^s. Ties are resolved the way the paper's proofs
+// do: a block of k nodes sharing a degree occupies k consecutive ranks and
+// every member receives the *average* of the block's Zipf masses, so equal
+// degrees imply equal transaction probabilities.
+//
+// Two ranking bases are supported because the paper itself uses both:
+// Section II-B defines p_trans on V' = G minus the sender's own channels
+// (`drop_sender_edges`), while the Section IV proofs rank receivers on the
+// full graph (`keep_sender_edges`) — see DESIGN.md.
+
+#ifndef LCG_DIST_ZIPF_H
+#define LCG_DIST_ZIPF_H
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace lcg::dist {
+
+/// Which graph the receiver ranking is computed on, from the sender's view.
+enum class rank_basis {
+  keep_sender_edges,  ///< rank on the full graph (Section IV proofs)
+  drop_sender_edges,  ///< rank on G minus the sender's channels (II-B)
+};
+
+/// Zipf mass per entry of `degrees` under competition ranking with averaged
+/// ties: sorting degrees descending, the i-th distinct block of size k
+/// occupying ranks [r, r+k-1] assigns each member
+/// (sum_{j=r}^{r+k-1} j^-s) / k. Not normalised.
+[[nodiscard]] std::vector<double> rank_factors(
+    const std::vector<std::size_t>& degrees, double s);
+
+/// p_trans(u, .) over all nodes of `g`: the normalised rank factors of the
+/// other nodes (p[u] == 0), ranked by in-degree on the basis graph.
+[[nodiscard]] std::vector<double> transaction_probabilities(
+    const graph::digraph& g, graph::node_id u, double s,
+    rank_basis basis = rank_basis::drop_sender_edges);
+
+/// All rows at once; row u equals transaction_probabilities(g, u, s, basis).
+[[nodiscard]] std::vector<std::vector<double>> transaction_probability_matrix(
+    const graph::digraph& g, double s,
+    rank_basis basis = rank_basis::drop_sender_edges);
+
+/// The receiver distribution of a node *about to join* `g` (Section II-C):
+/// every existing node is ranked by its current in-degree; nothing is
+/// excluded because the newcomer has no channels yet.
+[[nodiscard]] std::vector<double> newcomer_transaction_probabilities(
+    const graph::digraph& g, double s);
+
+}  // namespace lcg::dist
+
+#endif  // LCG_DIST_ZIPF_H

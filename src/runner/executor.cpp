@@ -1,0 +1,68 @@
+#include "runner/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace lcg::runner {
+
+std::vector<job_result> run_jobs(const std::vector<job>& jobs,
+                                 const run_options& options) {
+  std::vector<job_result> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t workers = options.jobs != 0
+                            ? options.jobs
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, jobs.size());
+
+  std::atomic<std::size_t> cursor{0};
+  std::size_t finished = 0;  // guarded by progress_mutex
+  std::mutex progress_mutex;
+
+  const auto worker_loop = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      const job& j = jobs[i];
+      job_result& out = results[i];
+      out.scenario = j.sc->name;
+      out.params = j.params;
+      out.seed = j.seed;
+      out.replicate = j.replicate;
+      stopwatch timer;
+      try {
+        const scenario_context ctx(j.params, j.seed);
+        out.rows = j.sc->run(ctx);
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      out.wall_seconds = timer.elapsed_seconds();
+      if (options.on_progress) {
+        // Count and notify under one lock so `done` values reach the
+        // callback strictly in order (a stale counter would otherwise be
+        // printed after the final one).
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.on_progress(++finished, jobs.size(), out);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Run inline: keeps single-threaded sweeps trivially debuggable.
+    worker_loop();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+  }
+  return results;
+}
+
+}  // namespace lcg::runner

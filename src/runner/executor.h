@@ -1,0 +1,56 @@
+// Parallel job execution over a jthread work pool.
+//
+// Jobs are independent by construction (each owns a private rng stream
+// derived at expansion time, runner/grid.h), so the executor is a plain
+// work-queue: an atomic cursor hands out job indices, each worker writes
+// its result into the pre-sized slot for that index, and the returned
+// vector is always in job order. Consequently --jobs 1 and --jobs N produce
+// identical result sets, which tests/runner_executor_test.cpp and the
+// lcg_run acceptance check pin down.
+//
+// A scenario that throws fails only its own job: the error text is captured
+// in the job_result and execution continues.
+
+#ifndef LCG_RUNNER_EXECUTOR_H
+#define LCG_RUNNER_EXECUTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/grid.h"
+
+namespace lcg::runner {
+
+struct job_result {
+  std::string scenario;
+  param_map params;
+  std::uint64_t seed = 0;
+  std::uint32_t replicate = 0;
+  std::vector<result_row> rows;
+  double wall_seconds = 0.0;  ///< per-job wall-clock (not in CSV output)
+  std::string error;          ///< empty <=> success
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Called after each job completes (from the completing worker thread,
+/// serialised by the executor): (jobs finished so far, total jobs, result).
+using progress_fn =
+    std::function<void(std::size_t, std::size_t, const job_result&)>;
+
+struct run_options {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  progress_fn on_progress;  ///< optional
+};
+
+/// Runs all jobs and returns their results in job order (deterministic
+/// regardless of `options.jobs`).
+[[nodiscard]] std::vector<job_result> run_jobs(const std::vector<job>& jobs,
+                                               const run_options& options = {});
+
+}  // namespace lcg::runner
+
+#endif  // LCG_RUNNER_EXECUTOR_H

@@ -1,0 +1,83 @@
+#include "runner/fixtures.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace lcg::runner {
+
+namespace {
+
+/// Erdős–Rényi host made connected by a cycle overlay.
+graph::digraph make_connected_er(std::size_t n, double p, rng& gen) {
+  graph::digraph g = graph::erdos_renyi(n, p, gen);
+  for (graph::node_id v = 0; v < n; ++v) {
+    const auto next = static_cast<graph::node_id>((v + 1) % n);
+    if (g.find_edge(v, next) == graph::invalid_edge)
+      g.add_bidirectional(v, next);
+  }
+  return g;
+}
+
+}  // namespace
+
+join_instance make_join_instance(std::uint64_t seed, std::size_t n,
+                                 core::model_params params, double zipf_s,
+                                 double total_rate, bool barabasi) {
+  join_instance inst;
+  rng gen(seed);
+  if (barabasi && n > 3) {
+    inst.host = graph::barabasi_albert(n, 2, gen);
+  } else {
+    inst.host = make_connected_er(n, 0.3, gen);
+  }
+  if (total_rate < 0.0) total_rate = static_cast<double>(n);
+  inst.model = std::make_unique<core::utility_model>(
+      core::make_zipf_model(inst.host, zipf_s, total_rate, params));
+  inst.candidates.resize(n);
+  for (graph::node_id v = 0; v < n; ++v) inst.candidates[v] = v;
+  inst.estimator = std::make_unique<core::full_connection_rate_estimator>(
+      *inst.model, inst.candidates);
+  inst.objective = std::make_unique<core::estimated_objective>(
+      *inst.model, *inst.estimator);
+  return inst;
+}
+
+core::model_params default_model_params() {
+  core::model_params p;
+  p.onchain_cost = 1.0;
+  p.opportunity_rate = 0.02;
+  p.fee_avg = 3.0;
+  p.fee_avg_tx = 0.5;
+  p.user_tx_rate = 1.0;
+  return p;
+}
+
+graph::digraph make_topology(const std::string& name, std::size_t n,
+                             rng& gen) {
+  LCG_EXPECTS(n >= 2);
+  if (name == "star") return graph::star_graph(n - 1);
+  if (name == "path") return graph::path_graph(n);
+  if (name == "cycle") return graph::cycle_graph(n);
+  if (name == "complete") return graph::complete_graph(n);
+  if (name == "grid") {
+    auto rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    while (rows > 1 && n % rows != 0) --rows;
+    return graph::grid_graph(rows, n / rows);
+  }
+  if (name == "ba") {
+    if (n <= 3) return graph::complete_graph(n);
+    return graph::barabasi_albert(n, 2, gen);
+  }
+  if (name == "er") return make_connected_er(n, 0.3, gen);
+  throw precondition_error("unknown topology '" + name + "'");
+}
+
+const std::vector<std::string>& topology_names() {
+  static const std::vector<std::string> names{
+      "star", "path", "cycle", "complete", "grid", "ba", "er"};
+  return names;
+}
+
+}  // namespace lcg::runner

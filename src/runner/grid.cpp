@@ -1,0 +1,113 @@
+#include "runner/grid.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace lcg::runner {
+
+namespace {
+
+std::uint64_t splitmix64_next(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+param_grid::param_grid(sweep_axes axes) : axes_(std::move(axes)) {
+  for (const auto& axis : axes_) LCG_EXPECTS(!axis.second.empty());
+}
+
+param_grid& param_grid::set(std::string key, value v) {
+  return sweep(std::move(key), {std::move(v)});
+}
+
+param_grid& param_grid::sweep(std::string key, std::vector<value> values) {
+  LCG_EXPECTS(!key.empty());
+  LCG_EXPECTS(!values.empty());
+  for (auto& axis : axes_) {
+    if (axis.first == key) {
+      axis.second = std::move(values);
+      return *this;
+    }
+  }
+  axes_.emplace_back(std::move(key), std::move(values));
+  return *this;
+}
+
+std::size_t param_grid::size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes_) n *= axis.second.size();
+  return n;
+}
+
+std::vector<param_map> param_grid::expand() const {
+  std::vector<param_map> points;
+  points.reserve(size());
+  param_map current;
+  // Depth-first over the axes: first axis varies slowest.
+  const auto recurse = [&](const auto& self, std::size_t depth) -> void {
+    if (depth == axes_.size()) {
+      points.push_back(current);
+      return;
+    }
+    for (const value& v : axes_[depth].second) {
+      current[axes_[depth].first] = v;
+      self(self, depth + 1);
+    }
+    current.erase(axes_[depth].first);
+  };
+  recurse(recurse, 0);
+  return points;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::string_view scenario_name,
+                          std::uint64_t point_index, std::uint32_t replicate) {
+  std::uint64_t state = base_seed;
+  splitmix64_next(state);
+  for (const char c : scenario_name) {
+    state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    splitmix64_next(state);
+  }
+  state ^= point_index;
+  splitmix64_next(state);
+  state ^= static_cast<std::uint64_t>(replicate) << 32;
+  return splitmix64_next(state);
+}
+
+std::vector<job> expand_jobs(const scenario& sc, const param_grid& grid,
+                             std::uint32_t seeds, std::uint64_t base_seed) {
+  LCG_EXPECTS(seeds >= 1);
+  std::vector<job> jobs;
+  const std::vector<param_map> points = grid.expand();
+  jobs.reserve(points.size() * seeds);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::uint32_t r = 0; r < seeds; ++r) {
+      job j;
+      j.sc = &sc;
+      j.params = points[p];
+      j.replicate = r;
+      j.seed = derive_seed(base_seed, sc.name, p, r);
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+std::vector<job> expand_default_jobs(
+    const std::vector<const scenario*>& scenarios, std::uint32_t seeds,
+    std::uint64_t base_seed) {
+  std::vector<job> jobs;
+  for (const scenario* sc : scenarios) {
+    std::vector<job> expanded =
+        expand_jobs(*sc, param_grid(sc->default_sweep), seeds, base_seed);
+    std::move(expanded.begin(), expanded.end(), std::back_inserter(jobs));
+  }
+  return jobs;
+}
+
+}  // namespace lcg::runner

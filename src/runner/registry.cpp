@@ -1,0 +1,64 @@
+#include "runner/registry.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace lcg::runner {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative wildcard matching with backtracking over the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+void registry::add(scenario sc) {
+  LCG_EXPECTS(!sc.name.empty());
+  LCG_EXPECTS(static_cast<bool>(sc.run));
+  if (find(sc.name) != nullptr)
+    throw precondition_error("scenario '" + sc.name +
+                             "' is already registered");
+  scenarios_.push_back(std::make_unique<scenario>(std::move(sc)));
+}
+
+const scenario* registry::find(std::string_view name) const {
+  for (const auto& sc : scenarios_)
+    if (sc->name == name) return sc.get();
+  return nullptr;
+}
+
+std::vector<const scenario*> registry::match(std::string_view pattern) const {
+  std::vector<const scenario*> out;
+  for (const auto& sc : scenarios_)
+    if (glob_match(pattern, sc->name)) out.push_back(sc.get());
+  std::sort(out.begin(), out.end(),
+            [](const scenario* a, const scenario* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<const scenario*> registry::all() const { return match("*"); }
+
+registry& registry::global() {
+  static registry instance;
+  return instance;
+}
+
+}  // namespace lcg::runner

@@ -1,0 +1,59 @@
+// The scenario registry: name -> scenario, with glob lookup.
+//
+// Experiments register once (usually through register_builtin_scenarios(),
+// which installs every reproduction scenario into the global registry) and
+// are then invocable by exact name or glob pattern from the lcg_run CLI,
+// tests, or any other driver. Registries are plain objects so tests can
+// build private ones; the process-wide instance is registry::global().
+
+#ifndef LCG_RUNNER_REGISTRY_H
+#define LCG_RUNNER_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace lcg::runner {
+
+class registry {
+ public:
+  /// Registers a scenario. Throws precondition_error when the name is empty
+  /// or already taken (duplicate registration is always a programming
+  /// error: it would make name-based invocation ambiguous).
+  void add(scenario sc);
+
+  [[nodiscard]] const scenario* find(std::string_view name) const;
+
+  /// Scenarios whose name matches `pattern` ('*' = any run, '?' = any one
+  /// character), sorted by name. An exact name is its own pattern.
+  [[nodiscard]] std::vector<const scenario*> match(
+      std::string_view pattern) const;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const scenario*> all() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+
+  /// The process-wide registry the CLI and builtin scenarios use.
+  static registry& global();
+
+ private:
+  // Deque-like stability is required (match/find return pointers); a
+  // vector of stable heap nodes keeps it simple.
+  std::vector<std::unique_ptr<scenario>> scenarios_;
+};
+
+/// Glob match with '*' and '?' (no character classes); exposed for tests.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Installs every built-in reproduction scenario (join-game optimisers,
+/// topology equilibria, simulator validation, ...) into registry::global().
+/// Idempotent; returns the number of scenarios the registry now holds.
+std::size_t register_builtin_scenarios();
+
+}  // namespace lcg::runner
+
+#endif  // LCG_RUNNER_REGISTRY_H

@@ -1,0 +1,188 @@
+#include "runner/reporter.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <variant>
+
+namespace lcg::runner {
+
+namespace {
+
+/// Shortest round-trip decimal rendering (deterministic across runs and
+/// thread counts, unlike locale-sensitive iostream formatting).
+std::string render_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ptr);
+}
+
+std::string render_value(const value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<long long>(&v)) return std::to_string(*i);
+  return render_double(std::get<double>(v));
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_value(const value& v) {
+  if (const auto* s = std::get_if<std::string>(&v))
+    return "\"" + json_escape(*s) + "\"";
+  return render_value(v);
+}
+
+/// A parameter named like one of the fixed job-identity columns would
+/// collide in the header (and be masked by the identity value); prefix it.
+std::string param_column_name(const std::string& key) {
+  if (key == "scenario" || key == "seed" || key == "replicate")
+    return "param_" + key;
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::string> merged_columns(
+    const std::vector<job_result>& results) {
+  std::vector<std::string> columns{"scenario", "seed", "replicate"};
+  std::set<std::string> param_keys;
+  for (const job_result& r : results)
+    for (const auto& [key, unused] : r.params)
+      param_keys.insert(param_column_name(key));
+  columns.insert(columns.end(), param_keys.begin(), param_keys.end());
+
+  std::set<std::string> seen(columns.begin(), columns.end());
+  for (const job_result& r : results) {
+    for (const result_row& row : r.rows) {
+      for (const auto& [name, unused] : row.cells()) {
+        if (seen.insert(name).second) columns.push_back(name);
+      }
+    }
+  }
+  return columns;
+}
+
+void write_csv(std::ostream& os, const std::vector<job_result>& results) {
+  const std::vector<std::string> columns = merged_columns(results);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(columns[i]);
+  }
+  os << '\n';
+  for (const job_result& r : results) {
+    for (const result_row& row : r.rows) {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i) os << ',';
+        const std::string& col = columns[i];
+        const auto param_it = [&] {
+          const auto it = r.params.find(col);
+          if (it != r.params.end() && param_column_name(col) == col)
+            return it;
+          if (col.starts_with("param_"))
+            return r.params.find(col.substr(6));
+          return r.params.end();
+        }();
+        if (col == "scenario") {
+          os << csv_escape(r.scenario);
+        } else if (col == "seed") {
+          os << r.seed;
+        } else if (col == "replicate") {
+          os << r.replicate;
+        } else if (param_it != r.params.end()) {
+          os << csv_escape(render_value(param_it->second));
+        } else {
+          for (const auto& [name, cell] : row.cells()) {
+            if (name == col) {
+              os << csv_escape(render_value(cell));
+              break;
+            }
+          }
+        }
+      }
+      os << '\n';
+    }
+  }
+}
+
+void write_jsonl(std::ostream& os, const std::vector<job_result>& results) {
+  for (const job_result& r : results) {
+    const auto prefix = [&](std::ostream& line) {
+      line << "{\"scenario\":\"" << json_escape(r.scenario)
+           << "\",\"seed\":" << r.seed << ",\"replicate\":" << r.replicate;
+      for (const auto& [key, v] : r.params)
+        line << ",\"" << json_escape(param_column_name(key))
+             << "\":" << json_value(v);
+    };
+    if (!r.ok()) {
+      prefix(os);
+      os << ",\"error\":\"" << json_escape(r.error) << "\"}\n";
+      continue;
+    }
+    for (const result_row& row : r.rows) {
+      prefix(os);
+      for (const auto& [name, cell] : row.cells())
+        os << ",\"" << json_escape(name) << "\":" << json_value(cell);
+      os << "}\n";
+    }
+  }
+}
+
+run_summary summarise(const std::vector<job_result>& results) {
+  run_summary s;
+  s.jobs = results.size();
+  std::set<std::string> errors;
+  for (const job_result& r : results) {
+    s.rows += r.rows.size();
+    s.total_wall_seconds += r.wall_seconds;
+    s.max_wall_seconds = std::max(s.max_wall_seconds, r.wall_seconds);
+    if (!r.ok()) {
+      ++s.failed;
+      errors.insert(r.scenario + ": " + r.error);
+    }
+  }
+  s.errors.assign(errors.begin(), errors.end());
+  return s;
+}
+
+void write_summary(std::ostream& os, const run_summary& summary) {
+  os << summary.jobs << " job(s), " << summary.rows << " row(s), "
+     << summary.failed << " failed; wall " << render_double(summary.total_wall_seconds)
+     << "s total, " << render_double(summary.max_wall_seconds)
+     << "s slowest job\n";
+  for (const std::string& e : summary.errors) os << "  error: " << e << '\n';
+}
+
+}  // namespace lcg::runner

@@ -1,0 +1,52 @@
+// Structured result output: CSV and JSONL.
+//
+// Both reporters emit one record per result row, prefixed with the job's
+// identity (scenario, seed, replicate, parameters). Column layout is a
+// deterministic function of the result set alone — scenario name, then the
+// sorted union of parameter keys, then result columns in first-appearance
+// order — so a sweep's output is byte-identical however many threads
+// produced it (row order follows job order). Per-job wall-clock is
+// intentionally *not* a column: it is the one field that differs between
+// runs and would break output comparability; it is summarised separately.
+
+#ifndef LCG_RUNNER_REPORTER_H
+#define LCG_RUNNER_REPORTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/executor.h"
+
+namespace lcg::runner {
+
+/// The merged header for a result set: "scenario", "seed", "replicate",
+/// sorted parameter keys, then result columns in first-appearance order.
+[[nodiscard]] std::vector<std::string> merged_columns(
+    const std::vector<job_result>& results);
+
+/// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+/// Failed jobs are skipped (they have no rows); collect them via summarise.
+void write_csv(std::ostream& os, const std::vector<job_result>& results);
+
+/// One JSON object per result row. Failed jobs emit an object with an
+/// "error" field instead, so JSONL output is loss-less.
+void write_jsonl(std::ostream& os, const std::vector<job_result>& results);
+
+struct run_summary {
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  std::size_t rows = 0;
+  double total_wall_seconds = 0.0;  ///< summed across jobs
+  double max_wall_seconds = 0.0;
+  std::vector<std::string> errors;  ///< "scenario: message", deduplicated
+};
+
+[[nodiscard]] run_summary summarise(const std::vector<job_result>& results);
+
+/// Human-readable digest of a summary (for stderr).
+void write_summary(std::ostream& os, const run_summary& summary);
+
+}  // namespace lcg::runner
+
+#endif  // LCG_RUNNER_REPORTER_H

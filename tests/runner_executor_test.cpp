@@ -1,0 +1,208 @@
+#include "runner/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <sstream>
+
+#include "runner/registry.h"
+#include "runner/reporter.h"
+
+namespace lcg::runner {
+namespace {
+
+/// Renders results the way lcg_run does, so "identical rows" in these tests
+/// is exactly the CLI's byte-identity guarantee.
+std::string to_csv(const std::vector<job_result>& results) {
+  std::ostringstream os;
+  write_csv(os, results);
+  return os.str();
+}
+
+scenario rng_scenario() {
+  scenario sc;
+  sc.name = "test/rng";
+  sc.description = "emits values derived from the per-job stream";
+  sc.run = [](const scenario_context& ctx) {
+    rng gen = ctx.make_rng();
+    result_row row;
+    row.set("n", ctx.get_int("n", 0))
+        .set("draw", static_cast<long long>(gen() % 1000000))
+        .set("real", gen.uniform01());
+    return std::vector<result_row>{row};
+  };
+  return sc;
+}
+
+std::vector<job> seeded_sweep(const scenario& sc, std::size_t points,
+                              std::uint32_t seeds) {
+  param_grid grid;
+  std::vector<value> ns;
+  for (std::size_t i = 0; i < points; ++i)
+    ns.emplace_back(static_cast<long long>(i));
+  grid.sweep("n", ns);
+  return expand_jobs(sc, grid, seeds, 42);
+}
+
+TEST(Executor, SerialAndParallelProduceIdenticalRows) {
+  const scenario sc = rng_scenario();
+  // >= 100 jobs, matching the acceptance sweep scale.
+  const std::vector<job> jobs = seeded_sweep(sc, 30, 4);
+  ASSERT_GE(jobs.size(), 100u);
+
+  run_options serial;
+  serial.jobs = 1;
+  run_options parallel;
+  parallel.jobs = 8;
+
+  const std::vector<job_result> r1 = run_jobs(jobs, serial);
+  const std::vector<job_result> r8 = run_jobs(jobs, parallel);
+  ASSERT_EQ(r1.size(), jobs.size());
+  ASSERT_EQ(r8.size(), jobs.size());
+  EXPECT_EQ(to_csv(r1), to_csv(r8));
+
+  // And a second parallel run is stable too.
+  EXPECT_EQ(to_csv(r8), to_csv(run_jobs(jobs, parallel)));
+}
+
+TEST(Executor, ResultsKeepJobOrder) {
+  const scenario sc = rng_scenario();
+  const std::vector<job> jobs = seeded_sweep(sc, 25, 1);
+  run_options options;
+  options.jobs = 4;
+  const std::vector<job_result> results = run_jobs(jobs, options);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].seed, jobs[i].seed);
+    EXPECT_EQ(results[i].params.at("n"), jobs[i].params.at("n"));
+  }
+}
+
+TEST(Executor, ThrowingScenarioFailsOnlyItsJob) {
+  scenario sc;
+  sc.name = "test/throws";
+  sc.description = "fails on odd n";
+  sc.run = [](const scenario_context& ctx) {
+    if (ctx.get_int("n", 0) % 2 == 1)
+      throw precondition_error("odd n rejected");
+    return std::vector<result_row>{result_row().set("ok", 1LL)};
+  };
+  const std::vector<job> jobs = seeded_sweep(sc, 10, 1);
+  run_options options;
+  options.jobs = 4;
+  const std::vector<job_result> results = run_jobs(jobs, options);
+  const run_summary summary = summarise(results);
+  EXPECT_EQ(summary.jobs, 10u);
+  EXPECT_EQ(summary.failed, 5u);
+  EXPECT_EQ(summary.rows, 5u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i % 2 == 1) {
+      EXPECT_FALSE(results[i].ok());
+      EXPECT_NE(results[i].error.find("odd n"), std::string::npos);
+    } else {
+      EXPECT_TRUE(results[i].ok());
+    }
+  }
+}
+
+TEST(Executor, ProgressCallbackSeesEveryJobExactlyOnce) {
+  const scenario sc = rng_scenario();
+  const std::vector<job> jobs = seeded_sweep(sc, 20, 1);
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> max_done{0};
+  run_options options;
+  options.jobs = 4;
+  options.on_progress = [&](std::size_t done, std::size_t total,
+                            const job_result&) {
+    calls.fetch_add(1);
+    EXPECT_EQ(total, 20u);
+    std::size_t prev = max_done.load();
+    while (done > prev && !max_done.compare_exchange_weak(prev, done)) {
+    }
+  };
+  (void)run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), 20u);
+  EXPECT_EQ(max_done.load(), 20u);
+}
+
+TEST(Executor, EmptyJobListIsFine) {
+  EXPECT_TRUE(run_jobs({}, {}).empty());
+}
+
+TEST(Executor, BuiltinSweepParallelMatchesSerial) {
+  // End-to-end over real scenarios: a slice of the builtin catalog.
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  for (const scenario* sc : registry::global().match("game/*")) {
+    std::vector<job> expanded =
+        expand_jobs(*sc, param_grid(sc->default_sweep), 1, 7);
+    std::move(expanded.begin(), expanded.end(), std::back_inserter(jobs));
+  }
+  ASSERT_FALSE(jobs.empty());
+  run_options serial;
+  serial.jobs = 1;
+  run_options parallel;
+  parallel.jobs = 8;
+  EXPECT_EQ(to_csv(run_jobs(jobs, serial)), to_csv(run_jobs(jobs, parallel)));
+}
+
+TEST(Reporter, CsvEscapesAndAlignsColumns) {
+  job_result r;
+  r.scenario = "test/csv";
+  r.seed = 1;
+  r.params["label"] = value(std::string("has,comma"));
+  result_row row;
+  row.set("quote", std::string("say \"hi\"")).set("v", 1.5);
+  r.rows.push_back(row);
+
+  std::ostringstream os;
+  write_csv(os, {r});
+  const std::string out = os.str();
+  EXPECT_EQ(out,
+            "scenario,seed,replicate,label,quote,v\n"
+            "test/csv,1,0,\"has,comma\",\"say \"\"hi\"\"\",1.5\n");
+}
+
+TEST(Reporter, ReservedParamNamesGetPrefixedColumns) {
+  job_result r;
+  r.scenario = "test/reserved";
+  r.seed = 11;
+  r.params["seed"] = value(99LL);  // user override colliding with identity
+  r.params["n"] = value(3LL);
+  r.rows.push_back(result_row().set("v", 1LL));
+
+  std::ostringstream os;
+  write_csv(os, {r});
+  EXPECT_EQ(os.str(),
+            "scenario,seed,replicate,n,param_seed,v\n"
+            "test/reserved,11,0,3,99,1\n");
+
+  std::ostringstream js;
+  write_jsonl(js, {r});
+  EXPECT_EQ(js.str(),
+            "{\"scenario\":\"test/reserved\",\"seed\":11,\"replicate\":0,"
+            "\"n\":3,\"param_seed\":99,\"v\":1}\n");
+}
+
+TEST(Reporter, JsonlEmitsErrorsAndEscapes) {
+  job_result ok;
+  ok.scenario = "test/jsonl";
+  ok.seed = 2;
+  ok.rows.push_back(result_row().set("msg", std::string("line\nbreak")));
+  job_result failed;
+  failed.scenario = "test/jsonl";
+  failed.seed = 3;
+  failed.error = "boom";
+
+  std::ostringstream os;
+  write_jsonl(os, {ok, failed});
+  EXPECT_EQ(os.str(),
+            "{\"scenario\":\"test/jsonl\",\"seed\":2,\"replicate\":0,"
+            "\"msg\":\"line\\nbreak\"}\n"
+            "{\"scenario\":\"test/jsonl\",\"seed\":3,\"replicate\":0,"
+            "\"error\":\"boom\"}\n");
+}
+
+}  // namespace
+}  // namespace lcg::runner
