@@ -1,102 +1,271 @@
-// E16 — substrate performance: the weighted Brandes sweep and the Eq. 2
-// rate estimation. II-B claims the estimation "can be done efficiently in
-// time O(n^2)" (per source O(n + m), sparse graphs); the series below shows
-// the measured scaling.
+// E16 — substrate performance: the multi-backend betweenness engine.
+//
+// II-B claims the Eq. 2 estimation "can be done efficiently in time O(n^2)"
+// (per source O(n + m), sparse graphs); this binary measures that scaling
+// and compares the backends of graph/betweenness.h head to head:
+//
+//   * serial    — exact reference sweep
+//   * parallel  — exact, source-partitioned across threads (bit-identical)
+//   * sampled   — Brandes–Pich pivot estimator (k pivots, n/k rescale)
+//
+// Unlike the other bench_* binaries this one does not need google-benchmark
+// (it is built unconditionally) and it emits a machine-readable record of
+// the comparison to BENCH_betweenness.json so the performance trajectory is
+// tracked across PRs:
+//
+//   [{"n":..., "edges":..., "backend":"parallel", "threads":8, "pivots":0,
+//     "wall_ms":..., "speedup_vs_serial":..., "max_rel_error":...}, ...]
+//
+// Exactness is enforced, not just reported: any parallel result that is not
+// bit-identical to serial aborts with exit code 1.
+//
+//   bench_betweenness [--smoke] [--json PATH] [--sizes n1,n2,...]
+//                     [--threads t1,t2,...] [--repeat R]
 
-#include "bench_common.h"
-#include "dist/zipf.h"
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "graph/betweenness.h"
-#include "pcn/rates.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
 #include "util/timer.h"
 
-namespace lcg {
 namespace {
 
-void print_scaling_table() {
-  bench::print_header(
-      "E16 / estimation cost",
-      "Measured wall time for the full lambda_e estimation (Eq. 2: Zipf "
-      "matrix + weighted Brandes) vs host size; time ratios near 4x per "
-      "size doubling confirm the ~O(n^2) sparse-graph claim.");
+using namespace lcg;
 
-  table t({"n", "edges", "zipf matrix ms", "brandes ms", "total ms",
-           "ratio vs prev"});
-  double prev_total = 0.0;
-  for (const std::size_t n : {50u, 100u, 200u, 400u, 800u}) {
+struct bench_record {
+  std::size_t n = 0;
+  std::size_t edges = 0;
+  std::string backend;
+  std::size_t threads = 1;
+  std::size_t pivots = 0;
+  double wall_ms = 0.0;
+  double speedup_vs_serial = 0.0;
+  double max_rel_error = 0.0;
+};
+
+struct bench_config {
+  std::vector<std::size_t> sizes{500, 1000, 2000};
+  std::vector<std::size_t> threads{2, 4, 8};
+  std::size_t repeat = 1;
+  std::string json_path = "BENCH_betweenness.json";
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), v);
+    if (ec != std::errc() || ptr != item.data() + item.size() || v == 0) {
+      std::cerr << "bench_betweenness: bad list entry '" << item << "'\n";
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    std::cerr << "bench_betweenness: empty list '" << text << "'\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Largest |a - b| over nodes and edges, normalised by the largest exact
+/// value (not per-element: near-zero exact entries would otherwise dominate
+/// the metric and make the sampled backend read as 100x error on elements
+/// that are irrelevant at the scale of the result).
+double max_rel_error(const graph::betweenness_result& exact,
+                     const graph::betweenness_result& got) {
+  double scale = 0.0;
+  for (const double e : exact.node) scale = std::max(scale, std::abs(e));
+  for (const double e : exact.edge) scale = std::max(scale, std::abs(e));
+  double worst = 0.0;
+  for (std::size_t v = 0; v < exact.node.size(); ++v)
+    worst = std::max(worst, std::abs(got.node[v] - exact.node[v]));
+  for (std::size_t e = 0; e < exact.edge.size(); ++e)
+    worst = std::max(worst, std::abs(got.edge[e] - exact.edge[e]));
+  return worst / std::max(scale, 1e-12);
+}
+
+bool bit_identical(const graph::betweenness_result& a,
+                   const graph::betweenness_result& b) {
+  return a.node == b.node && a.edge == b.edge;
+}
+
+void write_json(const std::string& path,
+                const std::vector<bench_record>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench_betweenness: cannot open '" << path << "'\n";
+    std::exit(1);
+  }
+  // host_hw_threads records the machine the numbers came from: a 1-core
+  // host cannot show parallel speedup, and trajectory comparisons across
+  // PRs are only meaningful between records with matching hardware.
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bench_record& r = records[i];
+    os << "  {\"n\": " << r.n << ", \"edges\": " << r.edges
+       << ", \"backend\": \"" << r.backend << "\", \"threads\": " << r.threads
+       << ", \"pivots\": " << r.pivots
+       << ", \"host_hw_threads\": " << hardware
+       << ", \"wall_ms\": " << r.wall_ms
+       << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
+       << ", \"max_rel_error\": " << r.max_rel_error << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+/// Best-of-R wall time for one configuration (result of the last run).
+template <typename Fn>
+double timed_ms(std::size_t repeat, Fn&& fn,
+                graph::betweenness_result* out) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    stopwatch sw;
+    graph::betweenness_result result = fn();
+    const double ms = sw.elapsed_ms();
+    if (r == 0 || ms < best) best = ms;
+    if (out) *out = std::move(result);
+  }
+  return best;
+}
+
+int run(const bench_config& config) {
+  std::vector<bench_record> records;
+  table t({"n", "edges", "backend", "threads", "pivots", "wall ms",
+           "speedup", "max rel err"});
+  bool exactness_ok = true;
+
+  for (const std::size_t n : config.sizes) {
     rng gen(n);
     const graph::digraph g = graph::barabasi_albert(n, 2, gen);
-    stopwatch sw_matrix;
-    const dist::zipf_transaction_distribution zipf(1.0);
-    dist::demand_model demand(g, zipf, static_cast<double>(n));
-    const double matrix_ms = sw_matrix.elapsed_ms();
-    stopwatch sw_brandes;
-    const pcn::rate_result rates = pcn::edge_transaction_rates(g, demand);
-    const double brandes_ms = sw_brandes.elapsed_ms();
-    benchmark::DoNotOptimize(rates.edge_rate.data());
-    const double total = matrix_ms + brandes_ms;
-    t.add_row({static_cast<long long>(n),
-               static_cast<long long>(g.edge_count()), matrix_ms, brandes_ms,
-               total, prev_total > 0.0 ? total / prev_total : 0.0});
-    prev_total = total;
+    const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
+
+    const auto record = [&](const char* backend, std::size_t threads,
+                            std::size_t pivots, double wall,
+                            double serial_wall, double err) {
+      bench_record r;
+      r.n = n;
+      r.edges = g.edge_count();
+      r.backend = backend;
+      r.threads = threads;
+      r.pivots = pivots;
+      r.wall_ms = wall;
+      r.speedup_vs_serial = wall > 0.0 ? serial_wall / wall : 0.0;
+      r.max_rel_error = err;
+      records.push_back(r);
+      t.add_row({static_cast<long long>(n),
+                 static_cast<long long>(g.edge_count()), std::string(backend),
+                 static_cast<long long>(threads),
+                 static_cast<long long>(pivots), wall, r.speedup_vs_serial,
+                 err});
+    };
+
+    graph::betweenness_result serial;
+    const double serial_ms = timed_ms(
+        config.repeat, [&] { return graph::weighted_betweenness(g, w); },
+        &serial);
+    record("serial", 1, 0, serial_ms, serial_ms, 0.0);
+
+    for (const std::size_t threads : config.threads) {
+      graph::betweenness_options options;
+      options.backend = graph::betweenness_backend::parallel;
+      options.threads = threads;
+      graph::betweenness_result parallel;
+      const double ms = timed_ms(
+          config.repeat,
+          [&] { return graph::weighted_betweenness(g, w, options); },
+          &parallel);
+      if (!bit_identical(serial, parallel)) {
+        std::cerr << "bench_betweenness: parallel backend (threads="
+                  << threads << ", n=" << n
+                  << ") is NOT bit-identical to serial\n";
+        exactness_ok = false;
+      }
+      record("parallel", threads, 0, ms, serial_ms,
+             max_rel_error(serial, parallel));
+    }
+
+    for (const std::size_t divisor : {4, 16}) {
+      const std::size_t pivots = std::max<std::size_t>(1, n / divisor);
+      graph::betweenness_options options;
+      options.backend = graph::betweenness_backend::sampled;
+      options.threads = 1;  // isolate sampling speedup from threading
+      options.sample_pivots = pivots;
+      options.rng_seed = 0x5eed0000 + n;
+      graph::betweenness_result sampled;
+      const double ms = timed_ms(
+          config.repeat,
+          [&] { return graph::weighted_betweenness(g, w, options); },
+          &sampled);
+      record("sampled", 1, pivots, ms, serial_ms,
+             max_rel_error(serial, sampled));
+    }
   }
+
+  std::cout << "E16 / betweenness backend comparison (BA hosts, attach 2; "
+            << "parallel must be bit-identical to serial)\n";
   t.print(std::cout);
+  write_json(config.json_path, records);
+  std::cout << records.size() << " record(s) -> " << config.json_path << "\n";
+  return exactness_ok ? 0 : 1;
 }
-
-void bm_weighted_betweenness(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rng gen(n);
-  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
-  const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::weighted_betweenness(g, w));
-  }
-}
-BENCHMARK(bm_weighted_betweenness)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond);
-
-void bm_node_betweenness_of(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rng gen(n + 1);
-  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
-  const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::node_betweenness_of(g, 0, w));
-  }
-}
-BENCHMARK(bm_node_betweenness_of)->Arg(50)->Arg(200)->Unit(
-    benchmark::kMillisecond);
-
-void bm_zipf_matrix(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rng gen(n + 2);
-  const graph::digraph g = graph::barabasi_albert(n, 2, gen);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dist::transaction_probability_matrix(g, 1.0));
-  }
-}
-BENCHMARK(bm_zipf_matrix)->Arg(50)->Arg(200)->Arg(800)->Unit(
-    benchmark::kMillisecond);
-
-void bm_capacity_reduced_rates(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rng gen(n + 3);
-  const graph::digraph g = graph::barabasi_albert(n, 2, gen, /*capacity=*/2.0);
-  const dist::zipf_transaction_distribution zipf(1.0);
-  dist::demand_model demand(g, zipf, static_cast<double>(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        pcn::edge_transaction_rates(g, demand, /*tx_size=*/1.0));
-  }
-}
-BENCHMARK(bm_capacity_reduced_rates)->Arg(50)->Arg(200)->Unit(
-    benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace lcg
 
 int main(int argc, char** argv) {
-  lcg::print_scaling_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bench_config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_betweenness: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      // CI smoke mode: small hosts, quick but still covering every backend.
+      config.sizes = {50, 120};
+      config.threads = {2, 4};
+    } else if (arg == "--json") {
+      config.json_path = need_value("--json");
+    } else if (arg == "--sizes") {
+      config.sizes = parse_size_list(need_value("--sizes"));
+    } else if (arg == "--threads") {
+      config.threads = parse_size_list(need_value("--threads"));
+    } else if (arg == "--repeat") {
+      const std::string text = need_value("--repeat");
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), config.repeat);
+      if (ec != std::errc() || ptr != text.data() + text.size() ||
+          config.repeat == 0) {
+        std::cerr << "bench_betweenness: bad --repeat '" << text << "'\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_betweenness [--smoke] [--json PATH] "
+                   "[--sizes n1,n2,...] [--threads t1,t2,...] [--repeat R]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_betweenness: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  return run(config);
 }

@@ -3,6 +3,7 @@
 //   lcg_run --list                         show registered scenarios
 //   lcg_run                                run every default sweep
 //   lcg_run --filter 'join/*' --jobs 8     parallel sweep of one family
+//   lcg_run --jobs 4 --threads 2           4 workers x 2 threads per job
 //   lcg_run --set n=50 --seeds 5           override a parameter, replicate
 //   lcg_run --out results.csv              write CSV (default: stdout)
 //
@@ -34,7 +35,8 @@ struct cli_options {
   bool list = false;
   bool quiet = false;
   std::vector<std::string> filters;
-  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::size_t jobs = 0;     // 0 = hardware concurrency
+  std::size_t threads = 0;  // per-job thread budget; 0 = auto (hw / jobs)
   std::uint32_t seeds = 1;
   std::uint64_t base_seed = 42;
   std::string out_path;  // empty = stdout
@@ -66,7 +68,7 @@ std::optional<std::uint64_t> parse_uint(const std::string& text) {
 
 void print_usage(std::ostream& os) {
   os << "usage: lcg_run [--list] [--filter GLOB]... [--set KEY=VALUE]...\n"
-        "               [--jobs N] [--seeds K] [--seed S]\n"
+        "               [--jobs N] [--threads T] [--seeds K] [--seed S]\n"
         "               [--out FILE] [--format csv|jsonl] [--quiet]\n";
 }
 
@@ -92,7 +94,8 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
       const char* v = need_value("--filter");
       if (!v) return std::nullopt;
       opt.filters.emplace_back(v);
-    } else if (arg == "--jobs" || arg == "--seeds" || arg == "--seed") {
+    } else if (arg == "--jobs" || arg == "--threads" || arg == "--seeds" ||
+               arg == "--seed") {
       const char* v = need_value(arg.c_str());
       if (!v) return std::nullopt;
       const std::optional<std::uint64_t> parsed = parse_uint(v);
@@ -103,6 +106,8 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
       }
       if (arg == "--jobs") {
         opt.jobs = static_cast<std::size_t>(*parsed);
+      } else if (arg == "--threads") {
+        opt.threads = static_cast<std::size_t>(*parsed);
       } else if (arg == "--seeds") {
         if (*parsed > 0xffffffffULL) {
           std::cerr << "lcg_run: --seeds is implausibly large\n";
@@ -219,6 +224,7 @@ int main(int argc, char** argv) {
 
   runner::run_options run_opt;
   run_opt.jobs = opt.jobs;
+  run_opt.threads_per_job = opt.threads;
   if (!opt.quiet) {
     run_opt.on_progress = [](std::size_t done, std::size_t total,
                              const runner::job_result& r) {

@@ -32,7 +32,8 @@ double rate_estimator::estimate(graph::node_id v, double lock) {
 
 full_connection_rate_estimator::full_connection_rate_estimator(
     const utility_model& model, std::span<const graph::node_id> candidates,
-    const dist::tx_size_distribution* sizes)
+    const dist::tx_size_distribution* sizes,
+    const graph::betweenness_options& options)
     : sizes_(sizes) {
   // Join u to every candidate and run one weighted Brandes sweep. A
   // forwarded transaction crosses u exactly once: it enters on one
@@ -49,8 +50,8 @@ full_connection_rate_estimator::full_connection_rate_estimator(
     out_edge[v] = g.add_edge(u, v, 1.0);
     in_edge[v] = g.add_edge(v, u, 1.0);
   }
-  const graph::betweenness_result b =
-      graph::weighted_betweenness(g, weights_excluding(model.demand(), u));
+  const graph::betweenness_result b = graph::weighted_betweenness(
+      g, weights_excluding(model.demand(), u), options);
   rate_.assign(model.host().node_count(), 0.0);
   for (graph::node_id v = 0; v < rate_.size(); ++v) {
     if (in_edge[v] != graph::invalid_edge)
@@ -65,11 +66,13 @@ double full_connection_rate_estimator::do_estimate(graph::node_id v,
 }
 
 anchor_pair_rate_estimator::anchor_pair_rate_estimator(
-    const utility_model& model, const dist::tx_size_distribution* sizes)
+    const utility_model& model, const dist::tx_size_distribution* sizes,
+    const graph::betweenness_options& options)
     : model_(model),
       anchor_(graph::max_degree_node(model.host())),
       cache_(model.host().node_count(), -1.0),
-      sizes_(sizes) {}
+      sizes_(sizes),
+      options_(options) {}
 
 double anchor_pair_rate_estimator::do_estimate(graph::node_id v, double lock) {
   LCG_EXPECTS(v < cache_.size());
@@ -100,7 +103,7 @@ double anchor_pair_rate_estimator::do_estimate(graph::node_id v, double lock) {
       g.add_edge(u, other, 1.0);
       g.add_edge(other, u, 1.0);
       const graph::betweenness_result b = graph::weighted_betweenness(
-          g, weights_excluding(model_.demand(), u));
+          g, weights_excluding(model_.demand(), u), options_);
       rate = (b.edge[vu] + b.edge[uv]) / 2.0;
     }
     cache_[v] = rate;

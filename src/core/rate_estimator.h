@@ -29,6 +29,7 @@
 
 #include "core/utility.h"
 #include "dist/tx_size.h"
+#include "graph/betweenness.h"
 
 namespace lcg::core {
 
@@ -51,12 +52,15 @@ class rate_estimator {
   std::uint64_t calls_ = 0;
 };
 
-/// See file comment. `sizes` may be null (no capacity discount).
+/// See file comment. `sizes` may be null (no capacity discount). `options`
+/// selects the betweenness backend for the single construction-time sweep
+/// (graph/betweenness.h); it never affects calls() accounting.
 class full_connection_rate_estimator final : public rate_estimator {
  public:
   full_connection_rate_estimator(
       const utility_model& model, std::span<const graph::node_id> candidates,
-      const dist::tx_size_distribution* sizes = nullptr);
+      const dist::tx_size_distribution* sizes = nullptr,
+      const graph::betweenness_options& options = {});
 
  protected:
   double do_estimate(graph::node_id v, double lock) override;
@@ -66,11 +70,14 @@ class full_connection_rate_estimator final : public rate_estimator {
   const dist::tx_size_distribution* sizes_;
 };
 
-/// See file comment.
+/// See file comment. `options` selects the backend of the per-candidate
+/// sweeps; it never affects calls() accounting (memoised candidates still
+/// count their estimate() calls).
 class anchor_pair_rate_estimator final : public rate_estimator {
  public:
   anchor_pair_rate_estimator(const utility_model& model,
-                             const dist::tx_size_distribution* sizes = nullptr);
+                             const dist::tx_size_distribution* sizes = nullptr,
+                             const graph::betweenness_options& options = {});
 
  protected:
   double do_estimate(graph::node_id v, double lock) override;
@@ -80,6 +87,7 @@ class anchor_pair_rate_estimator final : public rate_estimator {
   graph::node_id anchor_;
   std::vector<double> cache_;  // memoised per-candidate rates (-1 = unset)
   const dist::tx_size_distribution* sizes_;
+  graph::betweenness_options options_;
 };
 
 /// See file comment.

@@ -1,19 +1,39 @@
 #include "graph/betweenness.h"
 
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "graph/traversal.h"
+#include "util/rng.h"
 
 namespace lcg::graph {
 
 namespace {
 
-/// Runs the Brandes backward accumulation for one source and adds the
-/// dependencies into `node_acc` / `edge_acc` (either may be null).
-void accumulate_from_source(const digraph& g, node_id s,
-                            const pair_weight_fn& w,
-                            std::vector<double>* node_acc,
-                            std::vector<double>* edge_acc) {
+/// One source's complete Brandes contribution, computed independently of
+/// every other source. `delta[v]` is the node dependency (delta[source] is
+/// forced to 0), `edge` holds at most one entry per edge id. Buffers are
+/// reused across sources to avoid reallocation.
+struct source_contribution {
+  node_id source = invalid_node;
+  std::vector<double> delta;
+  std::vector<std::pair<edge_id, double>> edge;
+};
+
+/// Runs the Brandes backward accumulation for one source into `out`.
+/// `want_edges` == false skips the per-edge recording (node-only queries).
+void compute_contribution(const digraph& g, node_id s, const pair_weight_fn& w,
+                          bool want_edges, source_contribution& out) {
+  out.source = s;
+  out.delta.assign(g.node_count(), 0.0);
+  out.edge.clear();
   const sp_dag dag = shortest_path_dag(g, s);
-  std::vector<double> delta(g.node_count(), 0.0);
+  std::vector<double>& delta = out.delta;
   // Process vertices in order of non-increasing distance from s.
   for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
     const node_id v = *it;
@@ -22,27 +42,197 @@ void accumulate_from_source(const digraph& g, node_id s,
     for (const edge_id e : dag.pred[v]) {
       const node_id u = g.edge_at(e).src;
       const double contribution = dag.sigma[u] / dag.sigma[v] * through;
-      if (edge_acc) (*edge_acc)[e] += contribution;
+      // Each edge id appears in exactly one pred list at most once, so this
+      // is the single addition edge e receives from source s.
+      if (want_edges) out.edge.emplace_back(e, contribution);
       delta[u] += contribution;
     }
   }
+  delta[s] = 0.0;  // dependency of a source on itself is not betweenness
+}
+
+/// Adds `scale * contribution` into the accumulators. Per element this is
+/// exactly one addition per source, in whatever order merge() is called —
+/// the engine below always calls it in ascending source order, which makes
+/// every backend's addition sequence per element identical to serial's.
+void merge(const source_contribution& c, double scale,
+           std::vector<double>* node_acc, std::vector<double>* edge_acc) {
   if (node_acc) {
-    for (node_id v = 0; v < g.node_count(); ++v) {
-      if (v != s) (*node_acc)[v] += delta[v];
+    for (node_id v = 0; v < c.delta.size(); ++v) {
+      if (v != c.source) (*node_acc)[v] += scale * c.delta[v];
+    }
+  }
+  if (edge_acc) {
+    for (const auto& [e, contribution] : c.edge) {
+      (*edge_acc)[e] += scale * contribution;
     }
   }
 }
 
+std::size_t effective_threads(const betweenness_options& options,
+                              std::size_t source_count) {
+  if (options.backend == betweenness_backend::serial) return 1;
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  return std::min(std::max<std::size_t>(threads, 1), source_count);
+}
+
+/// The engine shared by every backend: sweep the given sources (ascending)
+/// and accumulate `scale` times each contribution. With threads > 1 the
+/// sources are processed in bounded chunks — each chunk's contributions are
+/// computed concurrently, then merged in source order — so the result is
+/// bit-identical to the threads == 1 path.
+void run_sweeps(const digraph& g, const std::vector<node_id>& sources,
+                const pair_weight_fn& w, double scale, std::size_t threads,
+                std::vector<double>* node_acc, std::vector<double>* edge_acc) {
+  const bool want_edges = edge_acc != nullptr;
+  if (threads <= 1) {
+    source_contribution c;
+    for (const node_id s : sources) {
+      compute_contribution(g, s, w, want_edges, c);
+      merge(c, scale, node_acc, edge_acc);
+    }
+    return;
+  }
+
+  // Chunked two-phase schedule over one persistent pool: each chunk's
+  // contributions are computed concurrently, then merged by this thread in
+  // ascending source order while the workers wait at a barrier. Bounds peak
+  // memory to chunk_size per-source buffers without respawning threads per
+  // chunk. A worker exception is captured, the remaining work is skipped
+  // (workers keep the barrier cadence so nothing deadlocks), and the first
+  // exception rethrows on the caller's thread — the same observable
+  // behaviour as the serial backend.
+  const std::size_t chunk_size = threads * 8;
+  std::vector<source_contribution> slots(
+      std::min(chunk_size, sources.size()));
+  const std::size_t chunks = (sources.size() + chunk_size - 1) / chunk_size;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::barrier sync(static_cast<std::ptrdiff_t>(threads) + 1);
+
+  const auto worker = [&]() {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::size_t begin = chunk * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, sources.size());
+      try {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) break;
+          compute_contribution(g, sources[i], w, want_edges, slots[i - begin]);
+        }
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+      sync.arrive_and_wait();  // chunk computed
+      sync.arrive_and_wait();  // chunk merged (and cursor reset) below
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::size_t begin = chunk * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, sources.size());
+      sync.arrive_and_wait();  // wait for the compute phase
+      if (!failed.load(std::memory_order_relaxed)) {
+        for (std::size_t i = begin; i < end; ++i) {
+          merge(slots[i - begin], scale, node_acc, edge_acc);
+        }
+      }
+      // Workers may have over-incremented the cursor racing past `end`;
+      // rewind it before releasing them into the next chunk.
+      cursor.store(end, std::memory_order_relaxed);
+      sync.arrive_and_wait();  // release the workers
+    }
+  }  // join
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Sources and unbiased rescaling factor for one computation: the full
+/// ascending id range for exact backends, a sorted pivot sample for the
+/// sampled backend. `skip` (if valid) is excluded from the population.
+std::pair<std::vector<node_id>, double> select_sources(
+    std::size_t n, const betweenness_options& options, node_id skip) {
+  std::vector<node_id> population;
+  population.reserve(n);
+  for (node_id s = 0; s < n; ++s) {
+    if (s != skip) population.push_back(s);
+  }
+  const std::size_t k = options.sample_pivots;
+  if (options.backend != betweenness_backend::sampled || k == 0 ||
+      k >= population.size()) {
+    return {std::move(population), 1.0};
+  }
+  // Partial Fisher–Yates over the population, then sort so that merging
+  // happens in ascending source order (and k == |population| would be the
+  // identity permutation, i.e. exact).
+  rng gen(options.rng_seed);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(gen.uniform_int(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(population.size()) - 1));
+    std::swap(population[i], population[j]);
+  }
+  population.resize(k);
+  std::sort(population.begin(), population.end());
+  const double scale =
+      static_cast<double>(n - (skip == invalid_node ? 0 : 1)) /
+      static_cast<double>(k);
+  return {std::move(population), scale};
+}
+
 }  // namespace
 
+betweenness_backend betweenness_backend_from_name(std::string_view name) {
+  if (name == "serial") return betweenness_backend::serial;
+  if (name == "parallel") return betweenness_backend::parallel;
+  if (name == "sampled") return betweenness_backend::sampled;
+  throw precondition_error("unknown betweenness backend '" +
+                           std::string(name) +
+                           "' (expected serial|parallel|sampled)");
+}
+
+std::string_view betweenness_backend_name(betweenness_backend backend) {
+  switch (backend) {
+    case betweenness_backend::serial:
+      return "serial";
+    case betweenness_backend::parallel:
+      return "parallel";
+    case betweenness_backend::sampled:
+      return "sampled";
+  }
+  throw precondition_error("invalid betweenness_backend value");
+}
+
+std::vector<node_id> sample_betweenness_pivots(std::size_t n, std::size_t k,
+                                               std::uint64_t seed) {
+  betweenness_options options;
+  options.backend = betweenness_backend::sampled;
+  options.sample_pivots = k;
+  options.rng_seed = seed;
+  return select_sources(n, options, invalid_node).first;
+}
+
 betweenness_result weighted_betweenness(const digraph& g,
-                                        const pair_weight_fn& w) {
+                                        const pair_weight_fn& w,
+                                        const betweenness_options& options) {
   betweenness_result result;
   result.node.assign(g.node_count(), 0.0);
   result.edge.assign(g.edge_slots(), 0.0);
-  for (node_id s = 0; s < g.node_count(); ++s) {
-    accumulate_from_source(g, s, w, &result.node, &result.edge);
-  }
+  auto [sources, scale] =
+      select_sources(g.node_count(), options, invalid_node);
+  run_sweeps(g, sources, w, scale, effective_threads(options, sources.size()),
+             &result.node, &result.edge);
   return result;
 }
 
@@ -51,13 +241,15 @@ betweenness_result betweenness(const digraph& g) {
 }
 
 double node_betweenness_of(const digraph& g, node_id u,
-                           const pair_weight_fn& w) {
+                           const pair_weight_fn& w,
+                           const betweenness_options& options) {
   LCG_EXPECTS(g.has_node(u));
   std::vector<double> node_acc(g.node_count(), 0.0);
-  for (node_id s = 0; s < g.node_count(); ++s) {
-    if (s == u) continue;  // pairs with source u are not routed *through* u
-    accumulate_from_source(g, s, w, &node_acc, nullptr);
-  }
+  // Pairs with source u are not routed *through* u, so u is excluded from
+  // the source population (and from the sampled pivot pool).
+  auto [sources, scale] = select_sources(g.node_count(), options, u);
+  run_sweeps(g, sources, w, scale, effective_threads(options, sources.size()),
+             &node_acc, nullptr);
   return node_acc[u];
 }
 
@@ -89,6 +281,8 @@ betweenness_result weighted_betweenness_naive(const digraph& g,
 
   for (node_id s = 0; s < n; ++s) {
     for (node_id t = 0; t < n; ++t) {
+      // Unreachable pairs (and the degenerate s == t pair) contribute
+      // nothing; zero-weight pairs are skipped so they add exactly 0.0.
       if (s == t || fwd[s].dist[t] == unreachable) continue;
       const double weight = w(s, t);
       if (weight == 0.0) continue;

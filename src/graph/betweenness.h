@@ -1,4 +1,5 @@
-// Weighted node and edge betweenness centrality (Brandes' algorithm).
+// Weighted node and edge betweenness centrality (Brandes' algorithm),
+// behind a pluggable multi-backend engine.
 //
 // Eq. (2) of the paper defines the probability that a directed edge carries
 // a transaction as the edge betweenness weighted by the probability of each
@@ -16,15 +17,51 @@
 //
 // (edge betweenness counts the path's first and last hop as well, exactly as
 // Eq. (2) requires; node betweenness excludes endpoints, as the revenue
-// definition requires). Unreachable pairs contribute nothing.
+// definition requires).
 //
-// Complexity: O(n * (n + m)) time for unweighted (hop-count) shortest paths,
-// matching the O(n^2) estimation cost claimed in II-B for sparse graphs.
+// Invariants shared by every backend and by the naive reference (pinned by
+// tests/graph_betweenness_property_test.cpp):
+//
+//  * Self-loop-free input: digraph::add_edge forbids self-loops, so no
+//    backend needs (or has) a u == v guard; a pair (s, s) never contributes.
+//  * Unreachable pairs contribute nothing: a pair (s, t) with no s -> t path
+//    adds 0 to every node and edge (the naive reference skips them, the
+//    Brandes sweep never visits t from s).
+//  * Zero-weight pairs contribute nothing: w(s, t) == 0 adds exactly 0.0
+//    (never -0.0 or NaN) to every accumulator, so sparse weight matrices and
+//    "exclude this node" masks are safe.
+//  * Inactive edge slots stay exactly 0 in `edge` and are never traversed.
+//  * Per ordered pair (source, element) at most ONE addition reaches each
+//    accumulator element. This is what makes the parallel backend bit-exact:
+//    contributions can be computed out of order and merged back in source
+//    order, reproducing the serial addition sequence per element.
+//
+// Backends (betweenness_options::backend):
+//
+//  * serial    — the reference single-thread sweep, sources 0..n-1 in order.
+//  * parallel  — sources are partitioned across a thread pool; per-source
+//                contributions are merged into the accumulators in ascending
+//                source order, so the result is BIT-IDENTICAL to serial for
+//                any thread count.
+//  * sampled   — the Brandes–Pich pivot estimator: k sources drawn uniformly
+//                without replacement from a splitmix64-seeded stream
+//                (util/rng.h, the executor's seeding scheme) and rescaled by
+//                n/k, which makes the estimator unbiased. Pivots are sorted,
+//                so sample_pivots >= n degenerates to the exact result
+//                (bit-identical to serial). Honors `threads` like parallel.
+//
+// Complexity: O(|sources| * (n + m)) time for unweighted (hop-count)
+// shortest paths; with all n sources this matches the O(n^2) estimation cost
+// claimed in II-B for sparse graphs, and the sampled backend reduces it to
+// O(k * (n + m)) for 10^4-node hosts.
 
 #ifndef LCG_GRAPH_BETWEENNESS_H
 #define LCG_GRAPH_BETWEENNESS_H
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -39,21 +76,64 @@ struct betweenness_result {
   std::vector<double> edge;  // indexed by edge_id (inactive edges: 0)
 };
 
-/// Node and edge betweenness with per-pair weights, over active edges.
-[[nodiscard]] betweenness_result weighted_betweenness(const digraph& g,
-                                                      const pair_weight_fn& w);
+enum class betweenness_backend { serial, parallel, sampled };
+
+/// How a betweenness computation runs; the default is the exact serial
+/// reference. Every layer above (pcn/rates, core/rate_estimator, runner
+/// scenarios, bench_betweenness) forwards one of these.
+struct betweenness_options {
+  betweenness_backend backend = betweenness_backend::serial;
+  /// Worker threads for parallel/sampled; 0 = hardware concurrency.
+  /// Ignored (always 1) by the serial backend. Never changes results.
+  std::size_t threads = 0;
+  /// Sampled backend: number of pivot sources k. 0 or >= n means exact
+  /// (all sources). Ignored by serial/parallel.
+  std::size_t sample_pivots = 0;
+  /// Sampled backend: seed of the pivot stream (splitmix64-expanded).
+  std::uint64_t rng_seed = 0;
+};
+
+/// Parses "serial" / "parallel" / "sampled"; throws precondition_error on
+/// anything else (scenario and CLI parameter surface).
+[[nodiscard]] betweenness_backend betweenness_backend_from_name(
+    std::string_view name);
+[[nodiscard]] std::string_view betweenness_backend_name(
+    betweenness_backend backend);
+
+/// The sampled backend's pivot set: k distinct node ids drawn uniformly
+/// from {0..n-1} (partial Fisher–Yates over a splitmix64-seeded stream),
+/// returned SORTED ascending. k >= n AND k == 0 both return all ids (k == 0
+/// means "exact" throughout betweenness_options). Exposed so tests and
+/// tooling can reproduce exactly which sources a weighted_betweenness
+/// estimate used. Note: node_betweenness_of draws over the population with
+/// the queried node removed, so its pivot set is NOT reproduced by this
+/// helper.
+[[nodiscard]] std::vector<node_id> sample_betweenness_pivots(
+    std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Node and edge betweenness with per-pair weights, over active edges; the
+/// multi-backend entry point (see the file comment for backend semantics;
+/// the default options are the exact serial reference).
+[[nodiscard]] betweenness_result weighted_betweenness(
+    const digraph& g, const pair_weight_fn& w,
+    const betweenness_options& options = {});
 
 /// Unweighted betweenness (w == 1 for every ordered pair).
 [[nodiscard]] betweenness_result betweenness(const digraph& g);
 
 /// Weighted dependency accumulated at a single node `u` (pairs with either
-/// endpoint equal to u contribute nothing). Same cost as the full sweep from
-/// all sources except it skips source u and the final per-node bookkeeping.
-[[nodiscard]] double node_betweenness_of(const digraph& g, node_id u,
-                                         const pair_weight_fn& w);
+/// endpoint equal to u contribute nothing: sources s == u are skipped, and
+/// a target t == u only ever contributes to nodes strictly inside an s -> u
+/// path, never to u itself). Same cost as the full sweep from all sources
+/// except it skips source u and the final per-edge bookkeeping. The sampled
+/// backend draws pivots from the n - 1 sources != u and rescales by
+/// (n - 1)/k, keeping the estimator unbiased.
+[[nodiscard]] double node_betweenness_of(
+    const digraph& g, node_id u, const pair_weight_fn& w,
+    const betweenness_options& options = {});
 
 /// Quadratic-per-pair reference implementation used to validate the Brandes
-/// sweep in tests. O(n^2 * m).
+/// sweep in tests. O(n^2 * m). Shares the invariants listed above.
 [[nodiscard]] betweenness_result weighted_betweenness_naive(
     const digraph& g, const pair_weight_fn& w);
 

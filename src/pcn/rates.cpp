@@ -8,7 +8,8 @@ namespace lcg::pcn {
 
 rate_result edge_transaction_rates(const graph::digraph& g,
                                    const dist::demand_model& demand,
-                                   double tx_size) {
+                                   double tx_size,
+                                   const graph::betweenness_options& options) {
   LCG_EXPECTS(demand.node_count() == g.node_count());
   rate_result result;
   result.edge_rate.assign(g.edge_slots(), 0.0);
@@ -16,7 +17,7 @@ rate_result edge_transaction_rates(const graph::digraph& g,
   const auto compute = [&](const graph::digraph& host,
                            const std::vector<graph::edge_id>* edge_map) {
     const graph::betweenness_result b =
-        graph::weighted_betweenness(host, demand.weight_fn());
+        graph::weighted_betweenness(host, demand.weight_fn(), options);
     for (graph::edge_id e = 0; e < b.edge.size(); ++e) {
       const graph::edge_id original = edge_map ? (*edge_map)[e] : e;
       result.edge_rate[original] = b.edge[e];
@@ -43,14 +44,16 @@ rate_result edge_transaction_rates(const graph::digraph& g,
 
 double node_through_rate(const graph::digraph& g,
                          const dist::demand_model& demand, graph::node_id v,
-                         double tx_size) {
+                         double tx_size,
+                         const graph::betweenness_options& options) {
   LCG_EXPECTS(demand.node_count() == g.node_count());
   if (tx_size > 0.0) {
     const graph::subgraph_result reduced =
         graph::reduced_by_capacity(g, tx_size);
-    return graph::node_betweenness_of(reduced.graph, v, demand.weight_fn());
+    return graph::node_betweenness_of(reduced.graph, v, demand.weight_fn(),
+                                      options);
   }
-  return graph::node_betweenness_of(g, v, demand.weight_fn());
+  return graph::node_betweenness_of(g, v, demand.weight_fn(), options);
 }
 
 }  // namespace lcg::pcn

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dist/transaction_dist.h"
+#include "graph/betweenness.h"
 #include "graph/digraph.h"
 
 namespace lcg::pcn {
@@ -32,16 +33,19 @@ struct rate_result {
 };
 
 /// Rates for all directed edges of `g` under `demand`. If tx_size > 0, only
-/// edges with capacity >= tx_size participate in routing.
+/// edges with capacity >= tx_size participate in routing. `options` picks
+/// the betweenness backend (graph/betweenness.h); the serial default and the
+/// parallel backend are exact, the sampled backend estimates.
 [[nodiscard]] rate_result edge_transaction_rates(
     const graph::digraph& g, const dist::demand_model& demand,
-    double tx_size = 0.0);
+    double tx_size = 0.0, const graph::betweenness_options& options = {});
 
 /// The rate of transactions *through* node v (v an intermediary), i.e. the
 /// node-betweenness analogue; multiplied by f_avg this is E_rev (Section IV).
-[[nodiscard]] double node_through_rate(const graph::digraph& g,
-                                       const dist::demand_model& demand,
-                                       graph::node_id v, double tx_size = 0.0);
+[[nodiscard]] double node_through_rate(
+    const graph::digraph& g, const dist::demand_model& demand,
+    graph::node_id v, double tx_size = 0.0,
+    const graph::betweenness_options& options = {});
 
 }  // namespace lcg::pcn
 

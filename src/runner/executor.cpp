@@ -15,10 +15,17 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
   std::vector<job_result> results(jobs.size());
   if (jobs.empty()) return results;
 
-  std::size_t workers = options.jobs != 0
-                            ? options.jobs
-                            : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::size_t workers = options.jobs != 0 ? options.jobs : hardware;
   workers = std::min(workers, jobs.size());
+
+  // Per-job thread budget: an explicit value is taken as-is; auto divides
+  // the machine across the workers so `workers x budget <= hardware` (with
+  // a floor of one thread per job).
+  const std::size_t thread_budget =
+      options.threads_per_job != 0 ? options.threads_per_job
+                                   : std::max<std::size_t>(1, hardware / workers);
 
   std::atomic<std::size_t> cursor{0};
   std::size_t finished = 0;  // guarded by progress_mutex
@@ -36,7 +43,7 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
       out.replicate = j.replicate;
       stopwatch timer;
       try {
-        const scenario_context ctx(j.params, j.seed);
+        const scenario_context ctx(j.params, j.seed, thread_budget);
         out.rows = j.sc->run(ctx);
       } catch (const std::exception& e) {
         out.error = e.what();

@@ -43,6 +43,12 @@ using progress_fn =
 struct run_options {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t jobs = 0;
+  /// Per-job thread budget forwarded to scenario_context::threads() (for
+  /// intra-job parallelism such as the parallel betweenness backend).
+  /// 0 = auto: hardware_concurrency / actual workers (at least 1), so that
+  /// `--jobs N x threads` never oversubscribes the machine. Never affects
+  /// results (see the determinism contract in runner/scenario.h).
+  std::size_t threads_per_job = 0;
   progress_fn on_progress;  ///< optional
 };
 

@@ -60,15 +60,23 @@ class result_row {
   std::vector<std::pair<std::string, value>> cells_;
 };
 
-/// Everything a scenario invocation sees: its parameters and its private
-/// deterministic random stream.
+/// Everything a scenario invocation sees: its parameters, its private
+/// deterministic random stream, and its thread budget.
 class scenario_context {
  public:
-  scenario_context(const param_map& params, std::uint64_t seed)
-      : params_(&params), seed_(seed) {}
+  scenario_context(const param_map& params, std::uint64_t seed,
+                   std::size_t thread_budget = 1)
+      : params_(&params), seed_(seed), thread_budget_(thread_budget) {}
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] const param_map& params() const noexcept { return *params_; }
+
+  /// Worker threads this job may use internally (e.g. for the parallel
+  /// betweenness backend, graph/betweenness.h). The executor sizes it so
+  /// that concurrent jobs never oversubscribe the machine; it MUST NOT
+  /// influence results (the determinism contract above covers it because
+  /// every parallel primitive in lcg is bit-identical to its serial form).
+  [[nodiscard]] std::size_t threads() const noexcept { return thread_budget_; }
 
   /// The job's private generator stream (splitmix64-expanded by rng's
   /// seeding); equal seeds give bit-identical streams.
@@ -109,6 +117,7 @@ class scenario_context {
  private:
   const param_map* params_;
   std::uint64_t seed_;
+  std::size_t thread_budget_ = 1;
 };
 
 /// A registered experiment. `default_sweep` lists, per parameter, the

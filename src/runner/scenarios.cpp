@@ -41,6 +41,24 @@ std::string peer_list(const core::strategy& s) {
   return out.empty() ? "(none)" : out;
 }
 
+/// Betweenness backend selection from the common grid parameters:
+/// `backend` ("serial" | "parallel" | "sampled"), `pivots` (sampled pivot
+/// count, 0 = exact). The thread budget comes from the executor
+/// (scenario_context::threads()) and the pivot stream is a fixed
+/// splitmix64 derivation of the job seed, so results stay a pure function
+/// of (params, seed) regardless of --jobs / --threads.
+graph::betweenness_options betweenness_options_from(
+    const scenario_context& ctx) {
+  graph::betweenness_options options;
+  options.backend = graph::betweenness_backend_from_name(
+      ctx.get_string("backend", "serial"));
+  options.threads = ctx.threads();
+  options.sample_pivots =
+      static_cast<std::size_t>(ctx.get_int("pivots", 0));
+  options.rng_seed = ctx.seed() ^ 0x5bf0f5e4aa63f5ecULL;  // distinct stream
+  return options;
+}
+
 core::model_params params_from(const scenario_context& ctx) {
   core::model_params p = default_model_params();
   p.fee_avg = ctx.get_double("fee_avg", p.fee_avg);
@@ -131,6 +149,7 @@ std::vector<result_row> run_join_estimators(const scenario_context& ctx) {
   const auto m = static_cast<std::size_t>(ctx.get_int("channels", 4));
   join_instance inst =
       make_join_instance(ctx.seed(), n, params_from(ctx));
+  const graph::betweenness_options backend = betweenness_options_from(ctx);
 
   std::vector<result_row> rows;
   const auto evaluate = [&](const std::string& name,
@@ -149,9 +168,10 @@ std::vector<result_row> run_join_estimators(const scenario_context& ctx) {
     rows.push_back(std::move(row));
   };
 
-  core::full_connection_rate_estimator full(*inst.model, inst.candidates);
+  core::full_connection_rate_estimator full(*inst.model, inst.candidates,
+                                            nullptr, backend);
   evaluate("full_connection", full);
-  core::anchor_pair_rate_estimator anchor(*inst.model);
+  core::anchor_pair_rate_estimator anchor(*inst.model, nullptr, backend);
   evaluate("anchor_pair", anchor);
   core::degree_share_rate_estimator degree(*inst.model);
   evaluate("degree_share", degree);
@@ -306,8 +326,8 @@ std::vector<result_row> run_sim_rates(const scenario_context& ctx) {
   const dist::zipf_transaction_distribution zipf(zipf_s);
   const dist::demand_model demand(g, zipf,
                                   static_cast<double>(g.node_count()));
-  const pcn::rate_result rates =
-      pcn::edge_transaction_rates(g, demand, tx_size);
+  const pcn::rate_result rates = pcn::edge_transaction_rates(
+      g, demand, tx_size, betweenness_options_from(ctx));
   double total = 0.0, max_rate = 0.0;
   for (const double r : rates.edge_rate) {
     total += r;
@@ -360,7 +380,8 @@ std::size_t register_builtin_scenarios() {
            run_join_continuous});
     r.add({"join/estimators",
            "fixed-lambda ablation: greedy under three rate estimators (E9)",
-           {{"n", ints({30, 40})}},
+           {{"n", ints({30, 40})},
+            {"backend", strings({"serial", "parallel"})}},
            run_join_estimators});
     r.add({"game/star",
            "Theorem 8 star equilibrium: closed form vs numeric checker (E11)",
@@ -386,7 +407,8 @@ std::size_t register_builtin_scenarios() {
            "Eq. 2 edge transaction rates (with optional capacity reduction)",
            {{"topology", strings({"cycle", "star", "ba", "er"})},
             {"n", ints({8, 12, 16, 20})},
-            {"tx_size", doubles({0.0, 0.5})}},
+            {"tx_size", doubles({0.0, 0.5})},
+            {"backend", strings({"serial", "parallel"})}},
            run_sim_rates});
     return true;
   }();

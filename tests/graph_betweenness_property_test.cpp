@@ -1,0 +1,427 @@
+// Randomized property-test harness for the multi-backend betweenness engine.
+//
+// This is the equivalence contract of graph/betweenness.h, exercised on a
+// corpus of 50+ random and adversarial graphs (Erdős–Rényi incl. sparse
+// disconnected ones, Barabási–Albert, hand-built edge cases) under mixed
+// pair-weight schemes:
+//
+//   1. serial == weighted_betweenness_naive      (reference, 1e-9 rel/abs)
+//   2. parallel == serial                        (BITWISE, any thread count)
+//   3. sampled with k >= n == serial             (BITWISE, degenerate exact)
+//   4. sampled with k < n == (n/k) * sum over the advertised pivot set
+//                                                (the rescaled error bound)
+//   5. E[sampled] == exact                       (unbiasedness, seed-averaged)
+//   6. node_betweenness_of consistent with the full sweep across backends
+//
+// plus the documented invariants: zero-weight pairs add exactly 0.0 (never
+// -0.0/NaN), unreachable pairs contribute nothing, inactive edge slots stay
+// exactly zero under every backend. All randomness is seeded; the test is
+// fully deterministic.
+
+#include "graph/betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcg::graph {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct corpus_case {
+  std::string name;
+  digraph g;
+  pair_weight_fn w;
+};
+
+/// Mixed weight schemes, cycling with the case index: unit, random,
+/// sparse-masked (many exact zeros), and large-scale random weights.
+pair_weight_fn make_weights(std::size_t scheme, std::size_t n,
+                            std::uint64_t seed) {
+  if (scheme % 4 == 0) {
+    return [](node_id, node_id) { return 1.0; };
+  }
+  auto weights = std::make_shared<std::vector<double>>(n * n, 0.0);
+  rng gen(seed * 0x9e3779b9ULL + scheme);
+  for (double& w : *weights) w = gen.uniform01();
+  if (scheme % 4 == 2) {
+    // Sparse mask: exact zeros on a third of all ordered pairs.
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t t = 0; t < n; ++t) {
+        if ((s + 2 * t) % 3 == 0) (*weights)[s * n + t] = 0.0;
+      }
+    }
+  } else if (scheme % 4 == 3) {
+    for (double& w : *weights) w *= 1000.0;
+  }
+  return [weights, n](node_id s, node_id t) {
+    return (*weights)[static_cast<std::size_t>(s) * n + t];
+  };
+}
+
+/// The 50+ graph corpus. Each case owns its (deterministic) weight scheme.
+std::vector<corpus_case> build_corpus() {
+  std::vector<corpus_case> corpus;
+  std::size_t index = 0;
+  const auto add = [&](std::string name, digraph g) {
+    const std::size_t n = g.node_count();
+    corpus.push_back({std::move(name), std::move(g),
+                      make_weights(index, n, 7919 + index)});
+    ++index;
+  };
+
+  // Erdős–Rényi across densities; p = 0.08 is usually disconnected with
+  // isolated nodes at these sizes.
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const std::size_t n = 6 + seed % 9;
+    const double p = std::vector<double>{0.08, 0.2, 0.45, 0.9}[seed % 4];
+    rng gen(seed);
+    add("er n=" + std::to_string(n) + " p=" + std::to_string(p) +
+            " seed=" + std::to_string(seed),
+        erdos_renyi(n, p, gen));
+  }
+  // Barabási–Albert (always connected, heavy-tailed).
+  for (std::uint64_t seed = 1; seed <= 18; ++seed) {
+    const std::size_t attach = 1 + seed % 3;
+    const std::size_t n = attach + 4 + seed % 12;
+    rng gen(1000 + seed);
+    add("ba n=" + std::to_string(n) + " attach=" + std::to_string(attach) +
+            " seed=" + std::to_string(seed),
+        barabasi_albert(n, attach, gen));
+  }
+  // Hand-built edge cases.
+  add("single node", digraph(1));
+  add("two nodes no edges", digraph(2));
+  add("edgeless n=5", digraph(5));
+  add("path 6", path_graph(6));
+  add("star 5", star_graph(5));
+  add("complete 5", complete_graph(5));
+  {
+    // Two disconnected components (path + triangle).
+    digraph g(7);
+    g.add_bidirectional(0, 1);
+    g.add_bidirectional(1, 2);
+    g.add_bidirectional(3, 4);
+    g.add_bidirectional(4, 5);
+    g.add_bidirectional(5, 3);
+    add("two components + isolated node", std::move(g));
+  }
+  {
+    // Inactive edge slots: remove the shortcut from a cycle-with-chord.
+    digraph g = cycle_graph(6);
+    const edge_id chord = g.add_bidirectional(0, 3);
+    g.remove_edge(chord);
+    g.remove_edge(chord + 1);
+    add("cycle 6 with removed chord", std::move(g));
+  }
+  return corpus;
+}
+
+void expect_near_result(const betweenness_result& got,
+                        const betweenness_result& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.node.size(), want.node.size()) << context;
+  ASSERT_EQ(got.edge.size(), want.edge.size()) << context;
+  for (std::size_t v = 0; v < want.node.size(); ++v) {
+    EXPECT_NEAR(got.node[v], want.node[v],
+                kTol * std::max(1.0, std::abs(want.node[v])))
+        << context << " node " << v;
+  }
+  for (std::size_t e = 0; e < want.edge.size(); ++e) {
+    EXPECT_NEAR(got.edge[e], want.edge[e],
+                kTol * std::max(1.0, std::abs(want.edge[e])))
+        << context << " edge " << e;
+  }
+}
+
+void expect_bitwise_result(const betweenness_result& got,
+                           const betweenness_result& want,
+                           const std::string& context) {
+  // Vector operator== compares element-wise with double ==; a -0.0 vs 0.0
+  // discrepancy would still pass here, so signbit is pinned separately in
+  // the invariant tests below.
+  EXPECT_TRUE(got.node == want.node && got.edge == want.edge) << context;
+}
+
+/// The exact contribution of a single source s: the full sweep under the
+/// weight function restricted to pairs with that source.
+betweenness_result single_source_contribution(const digraph& g, node_id s,
+                                              const pair_weight_fn& w) {
+  return weighted_betweenness(g, [&w, s](node_id a, node_id b) {
+    return a == s ? w(a, b) : 0.0;
+  });
+}
+
+TEST(BetweennessProperty, CorpusHasAtLeast50Graphs) {
+  EXPECT_GE(build_corpus().size(), 50u);
+}
+
+TEST(BetweennessProperty, SerialMatchesNaiveReference) {
+  for (const corpus_case& c : build_corpus()) {
+    const betweenness_result fast = weighted_betweenness(c.g, c.w);
+    const betweenness_result slow = weighted_betweenness_naive(c.g, c.w);
+    expect_near_result(fast, slow, c.name);
+  }
+}
+
+TEST(BetweennessProperty, ParallelIsBitIdenticalToSerial) {
+  for (const corpus_case& c : build_corpus()) {
+    const betweenness_result serial = weighted_betweenness(c.g, c.w);
+    for (const std::size_t threads : {2u, 5u, 16u}) {
+      betweenness_options options;
+      options.backend = betweenness_backend::parallel;
+      options.threads = threads;
+      expect_bitwise_result(weighted_betweenness(c.g, c.w, options), serial,
+                            c.name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(BetweennessProperty, SampledWithAllPivotsIsExact) {
+  for (const corpus_case& c : build_corpus()) {
+    const betweenness_result serial = weighted_betweenness(c.g, c.w);
+    betweenness_options options;
+    options.backend = betweenness_backend::sampled;
+    options.rng_seed = 12345;
+    for (const std::size_t k :
+         {c.g.node_count(), c.g.node_count() + 10, std::size_t{0}}) {
+      options.sample_pivots = k;
+      expect_bitwise_result(weighted_betweenness(c.g, c.w, options), serial,
+                            c.name + " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(BetweennessProperty, SampledEqualsRescaledSumOverAdvertisedPivots) {
+  // The estimator's entire error is the sampling of the pivot set: given the
+  // pivots it advertises (sample_betweenness_pivots), the result must equal
+  // (n/k) * sum of those sources' exact contributions. This pins both the
+  // rescaling and the pivot stream.
+  for (const corpus_case& c : build_corpus()) {
+    const std::size_t n = c.g.node_count();
+    if (n < 4) continue;
+    const std::size_t k = n / 2;
+    betweenness_options options;
+    options.backend = betweenness_backend::sampled;
+    options.sample_pivots = k;
+    options.rng_seed = 0xfeedULL + n;
+    const betweenness_result sampled =
+        weighted_betweenness(c.g, c.w, options);
+
+    const std::vector<node_id> pivots =
+        sample_betweenness_pivots(n, k, options.rng_seed);
+    ASSERT_EQ(pivots.size(), k) << c.name;
+    betweenness_result expected;
+    expected.node.assign(n, 0.0);
+    expected.edge.assign(c.g.edge_slots(), 0.0);
+    const double scale = static_cast<double>(n) / static_cast<double>(k);
+    for (const node_id s : pivots) {
+      const betweenness_result one = single_source_contribution(c.g, s, c.w);
+      for (std::size_t v = 0; v < n; ++v)
+        expected.node[v] += scale * one.node[v];
+      for (std::size_t e = 0; e < expected.edge.size(); ++e)
+        expected.edge[e] += scale * one.edge[e];
+    }
+    expect_near_result(sampled, expected, c.name + " sampled k<n");
+  }
+}
+
+TEST(BetweennessProperty, SampledPivotsAreSortedDistinctAndSeedStable) {
+  const std::vector<node_id> a = sample_betweenness_pivots(100, 20, 7);
+  const std::vector<node_id> b = sample_betweenness_pivots(100, 20, 7);
+  const std::vector<node_id> c = sample_betweenness_pivots(100, 20, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different stream (collision chance is negligible)
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+  EXPECT_EQ(sample_betweenness_pivots(10, 10, 3).size(), 10u);
+  EXPECT_EQ(sample_betweenness_pivots(10, 99, 3).size(), 10u);
+}
+
+TEST(BetweennessProperty, SampledIsUnbiasedAcrossSeeds) {
+  rng gen(4242);
+  const digraph g = erdos_renyi(12, 0.35, gen);
+  const pair_weight_fn w = make_weights(1, g.node_count(), 4242);
+  const betweenness_result exact = weighted_betweenness(g, w);
+
+  const std::size_t rounds = 400;
+  betweenness_options options;
+  options.backend = betweenness_backend::sampled;
+  options.sample_pivots = 6;
+  std::vector<double> mean_node(g.node_count(), 0.0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    options.rng_seed = 0xabc0000ULL + r;
+    const betweenness_result est = weighted_betweenness(g, w, options);
+    for (std::size_t v = 0; v < mean_node.size(); ++v)
+      mean_node[v] += est.node[v] / static_cast<double>(rounds);
+  }
+  double max_exact = 0.0;
+  for (const double x : exact.node) max_exact = std::max(max_exact, x);
+  ASSERT_GT(max_exact, 0.0);
+  for (std::size_t v = 0; v < mean_node.size(); ++v) {
+    // Monte-Carlo mean of 400 draws: loose but deterministic (fixed seeds).
+    EXPECT_NEAR(mean_node[v], exact.node[v], 0.15 * max_exact) << v;
+  }
+}
+
+TEST(BetweennessProperty, NodeBetweennessOfConsistentAcrossBackends) {
+  for (const corpus_case& c : build_corpus()) {
+    const std::size_t n = c.g.node_count();
+    if (n < 2 || n > 12) continue;  // keep the per-node sweeps cheap
+    const betweenness_result full = weighted_betweenness(c.g, c.w);
+    for (node_id u = 0; u < n; ++u) {
+      const double serial = node_betweenness_of(c.g, u, c.w);
+      // The full sweep adds the same per-source deltas in the same order
+      // (source u contributes nothing to u), so this is bitwise too.
+      EXPECT_EQ(serial, full.node[u]) << c.name << " u=" << u;
+
+      betweenness_options options;
+      options.backend = betweenness_backend::parallel;
+      options.threads = 3;
+      EXPECT_EQ(node_betweenness_of(c.g, u, c.w, options), serial)
+          << c.name << " u=" << u;
+
+      options.backend = betweenness_backend::sampled;
+      options.sample_pivots = n;  // >= n - 1 sources -> degenerate exact
+      options.rng_seed = 99;
+      EXPECT_EQ(node_betweenness_of(c.g, u, c.w, options), serial)
+          << c.name << " u=" << u;
+    }
+  }
+}
+
+TEST(BetweennessProperty, NodeBetweennessOfSampledUsesMinusOneRescale) {
+  // With u excluded the population is n - 1 sources, so the unbiased rescale
+  // is (n-1)/k; pin it the same way as the full-sweep rescale test.
+  rng gen(777);
+  const digraph g = erdos_renyi(10, 0.4, gen);
+  const std::size_t n = g.node_count();
+  const pair_weight_fn w = make_weights(3, n, 777);
+  const betweenness_result full = weighted_betweenness(g, w);
+  for (node_id u = 0; u < n; ++u) {
+    betweenness_options options;
+    options.backend = betweenness_backend::sampled;
+    options.sample_pivots = 4;
+    options.rng_seed = 0xbeefULL + u;
+    const double got = node_betweenness_of(g, u, w, options);
+    // Mean over many seeds must approach the exact value (scale correct on
+    // average); a wrong n/k-vs-(n-1)/k factor would bias every seed by 9/10.
+    double mean = 0.0;
+    const std::size_t rounds = 300;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      options.rng_seed = 0x1234ULL + 977 * r + u;
+      mean += node_betweenness_of(g, u, w, options) /
+              static_cast<double>(rounds);
+    }
+    const double tol = 0.15 * std::max(1.0, full.node[u]);
+    EXPECT_NEAR(mean, full.node[u], tol) << "u=" << u;
+    EXPECT_TRUE(std::isfinite(got));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Documented invariants (header comment of graph/betweenness.h).
+// ---------------------------------------------------------------------------
+
+std::vector<betweenness_options> all_backend_options() {
+  betweenness_options serial;
+  betweenness_options parallel;
+  parallel.backend = betweenness_backend::parallel;
+  parallel.threads = 4;
+  betweenness_options sampled;
+  sampled.backend = betweenness_backend::sampled;
+  sampled.sample_pivots = 3;
+  sampled.rng_seed = 5;
+  return {serial, parallel, sampled};
+}
+
+TEST(BetweennessInvariant, ZeroWeightPairsAddExactPositiveZero) {
+  const digraph g = path_graph(5);
+  const auto zero_w = [](node_id, node_id) { return 0.0; };
+  for (const betweenness_options& options : all_backend_options()) {
+    const betweenness_result b = weighted_betweenness(g, zero_w, options);
+    for (const double x : b.node) {
+      EXPECT_EQ(x, 0.0);
+      EXPECT_FALSE(std::signbit(x));  // exactly +0.0, never -0.0
+      EXPECT_FALSE(std::isnan(x));
+    }
+    for (const double x : b.edge) {
+      EXPECT_EQ(x, 0.0);
+      EXPECT_FALSE(std::signbit(x));
+    }
+  }
+}
+
+TEST(BetweennessInvariant, UnreachablePairsContributeNothing) {
+  // Two components; all weight is on cross-component (unreachable) pairs.
+  digraph g(6);
+  g.add_bidirectional(0, 1);
+  g.add_bidirectional(1, 2);
+  g.add_bidirectional(3, 4);
+  g.add_bidirectional(4, 5);
+  const auto cross_w = [](node_id s, node_id t) {
+    return (s < 3) != (t < 3) ? 5.0 : 0.0;
+  };
+  for (const betweenness_options& options : all_backend_options()) {
+    const betweenness_result b = weighted_betweenness(g, cross_w, options);
+    for (const double x : b.node) EXPECT_EQ(x, 0.0);
+    for (const double x : b.edge) EXPECT_EQ(x, 0.0);
+  }
+  const betweenness_result naive = weighted_betweenness_naive(g, cross_w);
+  for (const double x : naive.node) EXPECT_EQ(x, 0.0);
+  for (const double x : naive.edge) EXPECT_EQ(x, 0.0);
+}
+
+TEST(BetweennessInvariant, InactiveEdgeSlotsStayZeroUnderEveryBackend) {
+  digraph g = path_graph(4);
+  const edge_id shortcut = g.add_bidirectional(0, 3);
+  g.remove_edge(shortcut);
+  g.remove_edge(shortcut + 1);
+  for (const betweenness_options& options : all_backend_options()) {
+    const betweenness_result b = weighted_betweenness(
+        g, [](node_id, node_id) { return 2.0; }, options);
+    EXPECT_EQ(b.edge[shortcut], 0.0);
+    EXPECT_EQ(b.edge[shortcut + 1], 0.0);
+  }
+}
+
+TEST(BetweennessInvariant, WorkerExceptionPropagatesFromParallelBackend) {
+  // A throwing pair-weight function must surface as an exception on the
+  // calling thread (as the serial backend does), not std::terminate the
+  // process from inside a worker.
+  const digraph g = path_graph(40);
+  const auto throwing_w = [](node_id s, node_id t) -> double {
+    if (s == 17 && t == 3) throw precondition_error("bad pair weight");
+    return 1.0;
+  };
+  betweenness_options options;
+  options.backend = betweenness_backend::parallel;
+  options.threads = 4;
+  EXPECT_THROW((void)weighted_betweenness(g, throwing_w, options),
+               precondition_error);
+  options.backend = betweenness_backend::sampled;
+  options.sample_pivots = 0;  // exact: every source swept
+  EXPECT_THROW((void)weighted_betweenness(g, throwing_w, options),
+               precondition_error);
+}
+
+TEST(BetweennessInvariant, BackendNamesRoundTrip) {
+  for (const auto backend :
+       {betweenness_backend::serial, betweenness_backend::parallel,
+        betweenness_backend::sampled}) {
+    EXPECT_EQ(betweenness_backend_from_name(betweenness_backend_name(backend)),
+              backend);
+  }
+  EXPECT_THROW((void)betweenness_backend_from_name("gpu"), precondition_error);
+  EXPECT_THROW((void)betweenness_backend_from_name(""), precondition_error);
+}
+
+}  // namespace
+}  // namespace lcg::graph

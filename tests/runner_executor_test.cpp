@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <iterator>
 #include <sstream>
+#include <thread>
 
+#include "graph/betweenness.h"
+#include "graph/generators.h"
 #include "runner/registry.h"
 #include "runner/reporter.h"
 
@@ -145,6 +149,103 @@ TEST(Executor, BuiltinSweepParallelMatchesSerial) {
   run_options parallel;
   parallel.jobs = 8;
   EXPECT_EQ(to_csv(run_jobs(jobs, serial)), to_csv(run_jobs(jobs, parallel)));
+}
+
+TEST(Executor, ParallelBackendSweepIsByteIdenticalAcrossJobCounts) {
+  // The lcg_run determinism guarantee must survive intra-job parallelism:
+  // a scenario using the parallel betweenness backend with the executor's
+  // bounded thread budget (ctx.threads()) produces byte-identical CSV for
+  // --jobs 1 and --jobs 8, because the backend is bit-identical to serial
+  // for any thread count.
+  scenario sc;
+  sc.name = "test/parallel_betweenness";
+  sc.description = "betweenness checksum via the per-job thread budget";
+  sc.run = [](const scenario_context& ctx) {
+    const auto n = static_cast<std::size_t>(ctx.get_int("n", 16));
+    rng gen = ctx.make_rng();
+    const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+    graph::betweenness_options options;
+    options.backend = graph::betweenness_backend::parallel;
+    options.threads = ctx.threads();  // bounded by the executor
+    const graph::betweenness_result b = graph::weighted_betweenness(
+        g, [](graph::node_id, graph::node_id) { return 1.0; }, options);
+    double node_sum = 0.0, edge_sum = 0.0;
+    for (const double x : b.node) node_sum += x;
+    for (const double x : b.edge) edge_sum += x;
+    result_row row;
+    row.set("node_sum", node_sum)
+        .set("edge_sum", edge_sum)
+        .set("max_node", *std::max_element(b.node.begin(), b.node.end()));
+    return std::vector<result_row>{row};
+  };
+
+  const std::vector<job> jobs = seeded_sweep(sc, 12, 2);
+  run_options serial;
+  serial.jobs = 1;
+  serial.threads_per_job = 8;
+  run_options parallel;
+  parallel.jobs = 8;
+  parallel.threads_per_job = 2;
+  // Different worker counts AND different per-job thread budgets: the rows
+  // must not depend on either.
+  EXPECT_EQ(to_csv(run_jobs(jobs, serial)), to_csv(run_jobs(jobs, parallel)));
+}
+
+TEST(Executor, BuiltinBackendSweepParallelMatchesSerial) {
+  // End-to-end over the registered catalog: the scenarios that expose
+  // `backend`/`pivots` as grid parameters stay byte-identical between
+  // --jobs 1 and --jobs 8 (sampled included: its pivot stream derives from
+  // the job seed, not from thread scheduling).
+  register_builtin_scenarios();
+  const scenario* sc = registry::global().find("sim/rates");
+  ASSERT_NE(sc, nullptr);
+  param_grid grid;
+  grid.sweep("n", {value(10LL), value(14LL)});
+  grid.sweep("backend", {value(std::string("serial")),
+                         value(std::string("parallel")),
+                         value(std::string("sampled"))});
+  grid.sweep("pivots", {value(0LL), value(5LL)});
+  const std::vector<job> jobs = expand_jobs(*sc, grid, 1, 21);
+  ASSERT_EQ(jobs.size(), 12u);
+  run_options serial;
+  serial.jobs = 1;
+  run_options parallel;
+  parallel.jobs = 8;
+  parallel.threads_per_job = 2;
+  const std::string a = to_csv(run_jobs(jobs, serial));
+  EXPECT_EQ(a, to_csv(run_jobs(jobs, parallel)));
+  for (const job_result& r : run_jobs(jobs, parallel)) {
+    EXPECT_TRUE(r.ok()) << r.error;
+  }
+}
+
+TEST(Executor, ThreadBudgetIsForwardedAndBounded) {
+  scenario sc;
+  sc.name = "test/budget";
+  sc.description = "reports the thread budget it was handed";
+  sc.run = [](const scenario_context& ctx) {
+    return std::vector<result_row>{result_row().set(
+        "budget", static_cast<long long>(ctx.threads()))};
+  };
+  const std::vector<job> jobs = seeded_sweep(sc, 6, 1);
+  run_options options;
+  options.jobs = 2;
+  options.threads_per_job = 3;  // explicit budget is forwarded verbatim
+  for (const job_result& r : run_jobs(jobs, options)) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.rows.at(0).cells().at(0).second, value(3LL));
+  }
+  // Auto mode: hardware / workers, floored at one thread per job — never
+  // more than the machine has, so --jobs x threads cannot oversubscribe.
+  options.threads_per_job = 0;
+  const std::size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  for (const job_result& r : run_jobs(jobs, options)) {
+    ASSERT_TRUE(r.ok());
+    const auto budget = std::get<long long>(r.rows.at(0).cells().at(0).second);
+    EXPECT_GE(budget, 1);
+    EXPECT_LE(static_cast<std::size_t>(budget) * 2, std::max<std::size_t>(2, hardware));
+  }
 }
 
 TEST(Reporter, CsvEscapesAndAlignsColumns) {
