@@ -6,10 +6,20 @@
 //   lcg_run --jobs 4 --threads 2           4 workers x 2 threads per job
 //   lcg_run --set n=50 --seeds 5           override a parameter, replicate
 //   lcg_run --out results.csv              write CSV (default: stdout)
+//   lcg_run --cache-dir .lcg-cache         memoise results; re-runs only
+//                                          pay for new grid points
+//   lcg_run --shard 1/4                    run the second quarter of the
+//                                          job list (for fleet splitting)
 //
 // Output rows are byte-identical for any --jobs value (row order follows
 // job order); progress and timing go to stderr so stdout stays machine-
-// readable.
+// readable. With --cache-dir, a warm re-run serves every job from disk
+// (zero scenario executions) and still emits byte-identical output. With
+// --shard i/k, the job list is partitioned after full expansion (seeds
+// unchanged), the shard whose slice starts at job 0 carries the CSV
+// header, and concatenating the non-empty outputs in shard order
+// reproduces the unsharded bytes; an empty shard (possible when k > job
+// count) emits just the header so it is still valid CSV.
 
 #include <algorithm>
 #include <charconv>
@@ -25,6 +35,7 @@
 #include "runner/grid.h"
 #include "runner/registry.h"
 #include "runner/reporter.h"
+#include "util/format.h"
 #include "util/timer.h"
 
 namespace {
@@ -39,8 +50,11 @@ struct cli_options {
   std::size_t threads = 0;  // per-job thread budget; 0 = auto (hw / jobs)
   std::uint32_t seeds = 1;
   std::uint64_t base_seed = 42;
-  std::string out_path;  // empty = stdout
+  std::string out_path;   // empty = stdout
   std::string format = "csv";
+  std::string cache_dir;  // empty = no result cache
+  bool no_cache = false;  // force caching off even with --cache-dir
+  std::optional<runner::shard_spec> shard;
   std::vector<std::pair<std::string, runner::value>> overrides;
 };
 
@@ -59,17 +73,14 @@ runner::value parse_value(const std::string& text) {
 /// Whole-string unsigned parse; nullopt on junk, sign, or overflow (so
 /// "--jobs abc" and "--seeds -1" are flag errors, not aborts or 4e9 jobs).
 std::optional<std::uint64_t> parse_uint(const std::string& text) {
-  std::uint64_t v = 0;
-  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
-  if (ec != std::errc() || ptr != text.data() + text.size())
-    return std::nullopt;
-  return v;
+  return parse_whole<std::uint64_t>(text);
 }
 
 void print_usage(std::ostream& os) {
   os << "usage: lcg_run [--list] [--filter GLOB]... [--set KEY=VALUE]...\n"
         "               [--jobs N] [--threads T] [--seeds K] [--seed S]\n"
-        "               [--out FILE] [--format csv|jsonl] [--quiet]\n";
+        "               [--out FILE] [--format csv|jsonl] [--quiet]\n"
+        "               [--cache-dir DIR] [--no-cache] [--shard I/K]\n";
 }
 
 std::optional<cli_options> parse_args(int argc, char** argv) {
@@ -121,6 +132,25 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
       const char* v = need_value("--out");
       if (!v) return std::nullopt;
       opt.out_path = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = need_value("--cache-dir");
+      if (!v) return std::nullopt;
+      opt.cache_dir = v;
+      if (opt.cache_dir.empty()) {
+        std::cerr << "lcg_run: --cache-dir needs a non-empty path\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
+    } else if (arg == "--shard") {
+      const char* v = need_value("--shard");
+      if (!v) return std::nullopt;
+      opt.shard = runner::parse_shard(v);
+      if (!opt.shard) {
+        std::cerr << "lcg_run: --shard expects I/K with 0 <= I < K, got '"
+                  << v << "'\n";
+        return std::nullopt;
+      }
     } else if (arg == "--format") {
       const char* v = need_value("--format");
       if (!v) return std::nullopt;
@@ -212,7 +242,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Expand: default sweeps with CLI overrides pinned on top.
+  // Expand: default sweeps with CLI overrides pinned on top. The FULL job
+  // list is always built — sharding slices it afterwards, so every job
+  // keeps its unsharded seed and the global column layout is known.
   std::vector<runner::job> jobs;
   for (const runner::scenario* sc : scenarios) {
     runner::param_grid grid(sc->default_sweep);
@@ -222,9 +254,33 @@ int main(int argc, char** argv) {
     std::move(expanded.begin(), expanded.end(), std::back_inserter(jobs));
   }
 
+  // The sweep-wide CSV header, derivable from the job list because builtin
+  // scenarios declare their result columns. Required for sharding (every
+  // shard must agree on the layout without seeing the others' rows).
+  const std::optional<std::vector<std::string>> layout =
+      runner::merged_columns_for_jobs(jobs);
+
+  std::vector<runner::job> shard_slice;  // only filled when sharding
+  if (opt.shard) {
+    if (opt.format == "csv" && !layout) {
+      std::cerr << "lcg_run: --shard with csv output needs every selected "
+                   "scenario to declare its result columns\n";
+      return 1;
+    }
+    shard_slice = runner::take_shard(jobs, *opt.shard);
+    if (!opt.quiet) {
+      std::cerr << "shard " << opt.shard->index << "/" << opt.shard->count
+                << ": " << shard_slice.size() << " of " << jobs.size()
+                << " job(s)\n";
+    }
+  }
+  const std::vector<runner::job>& selected_jobs =
+      opt.shard ? shard_slice : jobs;
+
   runner::run_options run_opt;
   run_opt.jobs = opt.jobs;
   run_opt.threads_per_job = opt.threads;
+  if (!opt.no_cache) run_opt.cache_dir = opt.cache_dir;
   if (!opt.quiet) {
     run_opt.on_progress = [](std::size_t done, std::size_t total,
                              const runner::job_result& r) {
@@ -236,7 +292,7 @@ int main(int argc, char** argv) {
 
   lcg::stopwatch timer;
   const std::vector<runner::job_result> results =
-      runner::run_jobs(jobs, run_opt);
+      runner::run_jobs(selected_jobs, run_opt);
 
   std::ofstream file;
   if (!opt.out_path.empty()) {
@@ -249,7 +305,22 @@ int main(int argc, char** argv) {
   }
   std::ostream& os = opt.out_path.empty() ? std::cout : file;
   if (opt.format == "csv") {
-    runner::write_csv(os, results);
+    // Header policy: exactly one header across the sweep's NON-EMPTY
+    // shards — carried by the shard whose slice starts at job 0, so that
+    // `cat` of the non-empty shard outputs in shard order equals the
+    // unsharded run even when k exceeds the job count. An empty shard
+    // instead emits a header-only file (the self-describing form of "ran
+    // fine, zero rows") and is excluded from concatenation. JSONL needs
+    // none of this (no header exists).
+    const bool with_header =
+        !opt.shard ||
+        runner::shard_range(jobs.size(), *opt.shard).first == 0 ||
+        selected_jobs.empty();
+    if (layout) {
+      runner::write_csv(os, results, *layout, with_header);
+    } else {
+      runner::write_csv(os, results);  // undeclared columns; unsharded only
+    }
   } else {
     runner::write_jsonl(os, results);
   }

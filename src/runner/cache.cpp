@@ -1,0 +1,284 @@
+#include "runner/cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string_view>
+#include <system_error>
+#include <variant>
+
+#include "util/format.h"
+
+namespace lcg::runner {
+
+namespace {
+
+// Entry grammar (strictly line-based; every field is %-escaped so embedded
+// newlines/spaces cannot break the structure):
+//
+//   lcg-cache 1
+//   key <escaped canonical key>
+//   rows <N>
+//   ( cells <M>
+//     ( <t> <escaped column> <escaped value> ) x M ) x N
+//   end
+//
+// where <t> is 's' (string), 'i' (long long) or 'd' (double). Doubles are
+// rendered with shortest-round-trip std::to_chars and parsed back with
+// std::from_chars, so the stored value is bit-exact.
+constexpr std::string_view kMagic = "lcg-cache 1";
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    // '=' is escaped so the name/value boundary in the key's
+    // "param=<name>=<t>:<value>" segments stays unambiguous: without it,
+    // a '=' inside a parameter name or string value could shift the
+    // boundary and make two different (name, value) pairs collide.
+    if (c == '%' || c == ' ' || c == '=' || c == '\n' || c == '\r' ||
+        c == '\t') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out += raw;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return std::nullopt;
+    unsigned byte = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data() + i + 1, s.data() + i + 3, byte, 16);
+    if (ec != std::errc() || ptr != s.data() + i + 3) return std::nullopt;
+    out += static_cast<char>(byte);
+    i += 2;
+  }
+  return out;
+}
+
+/// "<t>:<escaped text>" — the typed rendering used inside the key.
+std::string tagged(const value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return "s:" + escape(*s);
+  if (const auto* i = std::get_if<long long>(&v))
+    return "i:" + std::to_string(*i);
+  return "d:" + render_double(std::get<double>(v));
+}
+
+std::optional<value> parse_cell_value(char type, std::string_view text) {
+  if (type == 's') {
+    std::optional<std::string> s = unescape(text);
+    if (!s) return std::nullopt;
+    return value(std::move(*s));
+  }
+  if (type == 'i') {
+    const std::optional<long long> i = parse_whole<long long>(text);
+    if (!i) return std::nullopt;
+    return value(*i);
+  }
+  if (type == 'd') {
+    const std::optional<double> d = parse_whole<double>(text);
+    if (!d) return std::nullopt;
+    return value(*d);
+  }
+  return std::nullopt;
+}
+
+std::string format_entry(const std::string& key,
+                         const std::vector<result_row>& rows) {
+  std::string out;
+  out += kMagic;
+  out += "\nkey ";
+  out += escape(key);
+  out += "\nrows ";
+  out += std::to_string(rows.size());
+  out += '\n';
+  for (const result_row& row : rows) {
+    out += "cells ";
+    out += std::to_string(row.cells().size());
+    out += '\n';
+    for (const auto& [name, cell] : row.cells()) {
+      if (const auto* s = std::get_if<std::string>(&cell)) {
+        out += "s ";
+        out += escape(name);
+        out += ' ';
+        out += escape(*s);
+      } else if (const auto* i = std::get_if<long long>(&cell)) {
+        out += "i ";
+        out += escape(name);
+        out += ' ';
+        out += std::to_string(*i);
+      } else {
+        out += "d ";
+        out += escape(name);
+        out += ' ';
+        out += render_double(std::get<double>(cell));
+      }
+      out += '\n';
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+/// One process-wide random token keeps temp names unique across processes
+/// sharing a cache directory; a counter keeps them unique across threads.
+std::string unique_temp_suffix() {
+  static const std::uint64_t token = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ".tmp-%016llx-%llu",
+                static_cast<unsigned long long>(token),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
+}
+
+}  // namespace
+
+std::string cache_key(const job& j) {
+  LCG_EXPECTS(j.sc != nullptr);
+  std::string key = "scenario=" + escape(j.sc->name);
+  key += "\nversion=" + escape(j.sc->version);
+  key += "\nseed=" + std::to_string(j.seed);
+  for (const auto& [name, v] : j.params) {
+    key += "\nparam=" + escape(name) + "=" + tagged(v);
+  }
+  return key;
+}
+
+std::uint64_t cache_key_hash(const std::string& key) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+result_cache::result_cache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  LCG_EXPECTS(!dir_.empty());
+}
+
+std::filesystem::path result_cache::path_for_key(
+    const std::string& key) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(cache_key_hash(key)));
+  return dir_ / std::string_view(hex, 2) /
+         (std::string(hex + 2) + ".lcgc");
+}
+
+std::filesystem::path result_cache::entry_path(const job& j) const {
+  return path_for_key(cache_key(j));
+}
+
+std::optional<std::vector<result_row>> result_cache::lookup(
+    const job& j) const try {
+  const std::string key = cache_key(j);
+  std::ifstream in(path_for_key(key), std::ios::binary);
+  if (!in) return std::nullopt;
+
+  std::string line;
+  const auto next = [&]() -> bool { return bool(std::getline(in, line)); };
+
+  if (!next() || line != kMagic) return std::nullopt;
+  if (!next() || !line.starts_with("key ")) return std::nullopt;
+  // Full-key verification: a hash collision or a file carried over from an
+  // older key scheme reads as a miss, never as wrong rows.
+  if (line.substr(4) != escape(key)) return std::nullopt;
+  if (!next() || !line.starts_with("rows ")) return std::nullopt;
+  const std::optional<std::size_t> row_count =
+      parse_whole<std::size_t>(std::string_view(line).substr(5));
+  if (!row_count) return std::nullopt;
+
+  std::vector<result_row> rows;
+  // A corrupt count must not pre-allocate terabytes; growth past the
+  // clamp is amortised, and a lying count fails the per-row parse anyway.
+  rows.reserve(std::min<std::size_t>(*row_count, 4096));
+  for (std::size_t r = 0; r < *row_count; ++r) {
+    if (!next() || !line.starts_with("cells ")) return std::nullopt;
+    const std::optional<std::size_t> cell_count =
+        parse_whole<std::size_t>(std::string_view(line).substr(6));
+    if (!cell_count) return std::nullopt;
+    result_row row;
+    for (std::size_t c = 0; c < *cell_count; ++c) {
+      if (!next()) return std::nullopt;
+      // "<t> <name> <value>"; value may be empty (trailing space present).
+      if (line.size() < 2 || line[1] != ' ') return std::nullopt;
+      const std::size_t name_end = line.find(' ', 2);
+      if (name_end == std::string::npos) return std::nullopt;
+      const std::optional<std::string> name =
+          unescape(std::string_view(line).substr(2, name_end - 2));
+      if (!name || name->empty()) return std::nullopt;
+      std::optional<value> v = parse_cell_value(
+          line[0], std::string_view(line).substr(name_end + 1));
+      if (!v) return std::nullopt;
+      row.set(std::move(*name), std::move(*v));
+    }
+    if (row.cells().size() != *cell_count) return std::nullopt;  // dup names
+    rows.push_back(std::move(row));
+  }
+  if (!next() || line != "end") return std::nullopt;
+  if (next()) return std::nullopt;  // trailing junk
+  return rows;
+} catch (...) {
+  // Any exception while reading (allocation on an absurd count, fs
+  // surprises) is just a damaged entry: miss, recompute, rewrite. Cache
+  // trouble must never fail a run.
+  return std::nullopt;
+}
+
+bool result_cache::store(const job& j,
+                         const std::vector<result_row>& rows) const try {
+  const std::string key = cache_key(j);
+  const std::filesystem::path path = path_for_key(key);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) return false;
+
+  const std::filesystem::path tmp =
+      path.parent_path() / (path.filename().string() + unique_temp_suffix());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << format_entry(key, rows);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+} catch (...) {
+  // E.g. std::random_device with no entropy source, or an allocation
+  // failure: the executor calls store() outside any try/catch (and from
+  // jthreads, where an escaping exception is std::terminate), so failure
+  // to cache must surface as `false`, never as an exception.
+  return false;
+}
+
+}  // namespace lcg::runner

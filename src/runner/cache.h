@@ -1,0 +1,78 @@
+// On-disk result cache for the scenario runner.
+//
+// The determinism contract (runner/scenario.h) makes a job's rows a pure
+// function of (scenario name, params, seed) for a fixed scenario
+// implementation, so they can be memoised on disk: a re-sweep only pays for
+// grid points it has never seen. The identity of "the implementation" is
+// the scenario's `version` tag — bumping it in the registry invalidates
+// exactly that scenario's entries and nothing else.
+//
+// Layout: one small text file per key under <dir>/<hh>/<hhhhhhhhhhhhhh>.lcgc
+// where the hex digits are the 64-bit FNV-1a of the canonical key string.
+// The file stores the full key and re-verifies it on lookup, so hash
+// collisions and stale files read as misses, never as wrong rows. Writes go
+// through a uniquely named temp file followed by an atomic rename, which
+// makes concurrent writers (--jobs N, or several lcg_run processes sharing
+// one cache) safe: racing stores of the same key carry identical bytes and
+// the last rename wins. Any malformed, truncated, or unreadable entry is a
+// miss — the job is recomputed and the entry rewritten. Failed jobs are
+// never cached.
+
+#ifndef LCG_RUNNER_CACHE_H
+#define LCG_RUNNER_CACHE_H
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/grid.h"
+
+namespace lcg::runner {
+
+/// The canonical cache identity of a job: scenario name, the scenario's
+/// version tag, the job seed, and every parameter with an explicit type tag
+/// (so the integer 1, the double 1.0 and the string "1" never alias).
+/// Parameters appear in param_map (sorted) order, making the key
+/// independent of construction order. The replicate index is deliberately
+/// absent: rows depend only on (name, params, seed); replicate is job
+/// identity the reporter re-attaches.
+[[nodiscard]] std::string cache_key(const job& j);
+
+/// 64-bit FNV-1a of the canonical key — the entry's content address.
+[[nodiscard]] std::uint64_t cache_key_hash(const std::string& key);
+
+class result_cache {
+ public:
+  /// Remembers `dir`; nothing is created until the first store().
+  explicit result_cache(std::filesystem::path dir);
+
+  /// The cached rows for `j`, or nullopt on miss (absent, corrupted,
+  /// truncated, key mismatch, or unreadable — all equivalent).
+  [[nodiscard]] std::optional<std::vector<result_row>> lookup(
+      const job& j) const;
+
+  /// Persists rows atomically (temp file + rename). Returns false on any
+  /// IO failure: cache trouble must never fail a run.
+  bool store(const job& j, const std::vector<result_row>& rows) const;
+
+  /// Where `j`'s entry lives on disk (exposed for tests and tooling).
+  [[nodiscard]] std::filesystem::path entry_path(const job& j) const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  /// entry_path for an already-canonicalised key (avoids rebuilding the
+  /// key string, which lookup/store need in full anyway).
+  [[nodiscard]] std::filesystem::path path_for_key(
+      const std::string& key) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace lcg::runner
+
+#endif  // LCG_RUNNER_CACHE_H

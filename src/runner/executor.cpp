@@ -4,8 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "runner/cache.h"
 #include "util/timer.h"
 
 namespace lcg::runner {
@@ -15,10 +17,43 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
   std::vector<job_result> results(jobs.size());
   if (jobs.empty()) return results;
 
+  std::optional<result_cache> cache;
+  if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
+
+  std::size_t finished = 0;  // later guarded by progress_mutex
+  std::mutex progress_mutex;
+
+  // Cache pass: serve hits inline, queue only the misses. A fully warm run
+  // therefore spawns no worker threads and calls no scenario code.
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (cache) {
+      stopwatch timer;
+      std::optional<std::vector<result_row>> rows = cache->lookup(jobs[i]);
+      if (rows) {
+        const job& j = jobs[i];
+        job_result& out = results[i];
+        out.scenario = j.sc->name;
+        out.params = j.params;
+        out.seed = j.seed;
+        out.replicate = j.replicate;
+        out.rows = std::move(*rows);
+        out.from_cache = true;
+        out.wall_seconds = timer.elapsed_seconds();
+        if (options.on_progress)
+          options.on_progress(++finished, jobs.size(), out);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+  if (pending.empty()) return results;
+
   const std::size_t hardware =
       std::max(1u, std::thread::hardware_concurrency());
   std::size_t workers = options.jobs != 0 ? options.jobs : hardware;
-  workers = std::min(workers, jobs.size());
+  workers = std::min(workers, pending.size());
 
   // Per-job thread budget: an explicit value is taken as-is; auto divides
   // the machine across the workers so `workers x budget <= hardware` (with
@@ -28,13 +63,12 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
                                    : std::max<std::size_t>(1, hardware / workers);
 
   std::atomic<std::size_t> cursor{0};
-  std::size_t finished = 0;  // guarded by progress_mutex
-  std::mutex progress_mutex;
 
   const auto worker_loop = [&]() {
     for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
+      const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= pending.size()) return;
+      const std::size_t i = pending[slot];
       const job& j = jobs[i];
       job_result& out = results[i];
       out.scenario = j.sc->name;
@@ -51,6 +85,10 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
         out.error = "unknown exception";
       }
       out.wall_seconds = timer.elapsed_seconds();
+      // Only successes are cached: a failed job must be retried next run.
+      // store() is atomic (temp + rename), so concurrent workers — even
+      // racing on the same key — are safe.
+      if (cache && out.ok()) (void)cache->store(j, out.rows);
       if (options.on_progress) {
         // Count and notify under one lock so `done` values reach the
         // callback strictly in order (a stale counter would otherwise be

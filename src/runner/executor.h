@@ -31,6 +31,7 @@ struct job_result {
   std::vector<result_row> rows;
   double wall_seconds = 0.0;  ///< per-job wall-clock (not in CSV output)
   std::string error;          ///< empty <=> success
+  bool from_cache = false;    ///< rows were served by the result cache
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
@@ -49,6 +50,14 @@ struct run_options {
   /// `--jobs N x threads` never oversubscribes the machine. Never affects
   /// results (see the determinism contract in runner/scenario.h).
   std::size_t threads_per_job = 0;
+  /// When non-empty, an on-disk result cache (runner/cache.h) rooted here
+  /// is consulted before any worker is spawned: hits are served inline on
+  /// the calling thread (a fully warm run starts zero worker threads and
+  /// invokes zero scenario run() functions), only misses enter the work
+  /// queue, and each successful miss is written back atomically. Cached
+  /// and freshly computed rows are identical by the determinism contract,
+  /// so cold and warm runs are byte-identical through the reporters.
+  std::string cache_dir;
   progress_fn on_progress;  ///< optional
 };
 

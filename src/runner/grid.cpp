@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "util/format.h"
+
 namespace lcg::runner {
 
 namespace {
@@ -96,6 +98,35 @@ std::vector<job> expand_jobs(const scenario& sc, const param_grid& grid,
     }
   }
   return jobs;
+}
+
+std::optional<shard_spec> parse_shard(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::optional<std::uint32_t> index =
+      parse_whole<std::uint32_t>(text.substr(0, slash));
+  const std::optional<std::uint32_t> count =
+      parse_whole<std::uint32_t>(text.substr(slash + 1));
+  if (!index || !count || *count == 0 || *index >= *count)
+    return std::nullopt;
+  return shard_spec{*index, *count};
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n, shard_spec s) {
+  LCG_EXPECTS(s.count >= 1);
+  LCG_EXPECTS(s.index < s.count);
+  // floor(i*n/k): 128-bit-free because job counts stay far below 2^32.
+  const auto n64 = static_cast<unsigned long long>(n);
+  const auto begin = static_cast<std::size_t>(n64 * s.index / s.count);
+  const auto end =
+      static_cast<std::size_t>(n64 * (s.index + 1ULL) / s.count);
+  return {begin, end};
+}
+
+std::vector<job> take_shard(const std::vector<job>& jobs, shard_spec s) {
+  const auto [begin, end] = shard_range(jobs.size(), s);
+  return std::vector<job>(jobs.begin() + static_cast<std::ptrdiff_t>(begin),
+                          jobs.begin() + static_cast<std::ptrdiff_t>(end));
 }
 
 std::vector<job> expand_default_jobs(

@@ -11,7 +11,10 @@
 #define LCG_RUNNER_GRID_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "runner/scenario.h"
@@ -73,6 +76,31 @@ struct job {
                                         std::string_view scenario_name,
                                         std::uint64_t point_index,
                                         std::uint32_t replicate);
+
+/// One deterministic 1-of-k slice of an expanded job list (`--shard i/k`).
+///
+/// Sharding happens AFTER full expansion, so every job keeps the seed it
+/// would have in the unsharded sweep — which is what makes the k shard
+/// outputs concatenable back into the unsharded output byte for byte.
+struct shard_spec {
+  std::uint32_t index = 0;  ///< 0-based; must be < count
+  std::uint32_t count = 1;  ///< total shards; must be >= 1
+};
+
+/// Parses "i/k" (e.g. "0/4"); nullopt unless both sides are whole
+/// non-negative integers with k >= 1 and i < k.
+[[nodiscard]] std::optional<shard_spec> parse_shard(std::string_view text);
+
+/// Half-open job-index range of shard `s` over `n` jobs. Slices are
+/// contiguous, in shard order, balanced (sizes differ by at most one), and
+/// their concatenation over index 0..count-1 is exactly [0, n). When
+/// count > n some slices are empty.
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                              shard_spec s);
+
+/// The slice of `jobs` that shard `s` owns, in original job order.
+[[nodiscard]] std::vector<job> take_shard(const std::vector<job>& jobs,
+                                          shard_spec s);
 
 }  // namespace lcg::runner
 

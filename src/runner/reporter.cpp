@@ -1,23 +1,16 @@
 #include "runner/reporter.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 #include <ostream>
 #include <set>
 #include <variant>
 
+#include "util/format.h"
+
 namespace lcg::runner {
 
 namespace {
-
-/// Shortest round-trip decimal rendering (deterministic across runs and
-/// thread counts, unlike locale-sensitive iostream formatting).
-std::string render_double(double v) {
-  char buf[64];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, ptr);
-}
 
 std::string render_value(const value& v) {
   if (const auto* s = std::get_if<std::string>(&v)) return *s;
@@ -73,17 +66,28 @@ std::string param_column_name(const std::string& key) {
   return key;
 }
 
+/// The shared header prefix: identity columns then the sorted union of
+/// (prefixed) parameter keys over `items`, each of which exposes a
+/// `.params` map. Keeping merged_columns and merged_columns_for_jobs on
+/// one implementation is what guarantees a declaration-derived shard
+/// header can never drift from the row-derived one.
+template <typename Item>
+std::vector<std::string> identity_and_param_columns(
+    const std::vector<Item>& items) {
+  std::vector<std::string> columns{"scenario", "seed", "replicate"};
+  std::set<std::string> param_keys;
+  for (const Item& item : items)
+    for (const auto& [key, unused] : item.params)
+      param_keys.insert(param_column_name(key));
+  columns.insert(columns.end(), param_keys.begin(), param_keys.end());
+  return columns;
+}
+
 }  // namespace
 
 std::vector<std::string> merged_columns(
     const std::vector<job_result>& results) {
-  std::vector<std::string> columns{"scenario", "seed", "replicate"};
-  std::set<std::string> param_keys;
-  for (const job_result& r : results)
-    for (const auto& [key, unused] : r.params)
-      param_keys.insert(param_column_name(key));
-  columns.insert(columns.end(), param_keys.begin(), param_keys.end());
-
+  std::vector<std::string> columns = identity_and_param_columns(results);
   std::set<std::string> seen(columns.begin(), columns.end());
   for (const job_result& r : results) {
     for (const result_row& row : r.rows) {
@@ -95,13 +99,35 @@ std::vector<std::string> merged_columns(
   return columns;
 }
 
-void write_csv(std::ostream& os, const std::vector<job_result>& results) {
-  const std::vector<std::string> columns = merged_columns(results);
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    if (i) os << ',';
-    os << csv_escape(columns[i]);
+std::optional<std::vector<std::string>> merged_columns_for_jobs(
+    const std::vector<job>& jobs) {
+  std::vector<std::string> columns = identity_and_param_columns(jobs);
+  // Declared result columns in first-appearance (job) order — the same
+  // rule merged_columns applies to executed rows. A declared column that
+  // collides with an identity/parameter column is masked there exactly as
+  // an emitted one would be.
+  std::set<std::string> seen(columns.begin(), columns.end());
+  for (const job& j : jobs) {
+    if (j.sc == nullptr || j.sc->columns.empty()) return std::nullopt;
+    for (const std::string& name : j.sc->columns)
+      if (seen.insert(name).second) columns.push_back(name);
   }
-  os << '\n';
+  return columns;
+}
+
+void write_csv(std::ostream& os, const std::vector<job_result>& results) {
+  write_csv(os, results, merged_columns(results), /*with_header=*/true);
+}
+
+void write_csv(std::ostream& os, const std::vector<job_result>& results,
+               const std::vector<std::string>& columns, bool with_header) {
+  if (with_header) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(columns[i]);
+    }
+    os << '\n';
+  }
   for (const job_result& r : results) {
     for (const result_row& row : r.rows) {
       for (std::size_t i = 0; i < columns.size(); ++i) {
@@ -168,6 +194,7 @@ run_summary summarise(const std::vector<job_result>& results) {
     s.rows += r.rows.size();
     s.total_wall_seconds += r.wall_seconds;
     s.max_wall_seconds = std::max(s.max_wall_seconds, r.wall_seconds);
+    if (r.from_cache) ++s.cache_hits;
     if (!r.ok()) {
       ++s.failed;
       errors.insert(r.scenario + ": " + r.error);
@@ -179,7 +206,10 @@ run_summary summarise(const std::vector<job_result>& results) {
 
 void write_summary(std::ostream& os, const run_summary& summary) {
   os << summary.jobs << " job(s), " << summary.rows << " row(s), "
-     << summary.failed << " failed; wall " << render_double(summary.total_wall_seconds)
+     << summary.failed << " failed";
+  if (summary.cache_hits > 0)
+    os << ", " << summary.cache_hits << "/" << summary.jobs << " from cache";
+  os << "; wall " << render_double(summary.total_wall_seconds)
      << "s total, " << render_double(summary.max_wall_seconds)
      << "s slowest job\n";
   for (const std::string& e : summary.errors) os << "  error: " << e << '\n';

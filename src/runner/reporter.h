@@ -13,6 +13,7 @@
 #define LCG_RUNNER_REPORTER_H
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,9 +26,28 @@ namespace lcg::runner {
 [[nodiscard]] std::vector<std::string> merged_columns(
     const std::vector<job_result>& results);
 
+/// The same header computed from a job list alone, using each scenario's
+/// declared `columns` — available before (or without) running anything,
+/// which is what lets every shard of a sweep, an all-cache-hit run, and an
+/// empty shard emit the identical header the unsharded run would. Returns
+/// nullopt when any job's scenario declares no columns (the header then
+/// needs executed rows). For accurately declared scenarios this equals
+/// merged_columns() over the full run's results.
+[[nodiscard]] std::optional<std::vector<std::string>> merged_columns_for_jobs(
+    const std::vector<job>& jobs);
+
 /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
 /// Failed jobs are skipped (they have no rows); collect them via summarise.
 void write_csv(std::ostream& os, const std::vector<job_result>& results);
+
+/// CSV against an explicit column layout (normally from
+/// merged_columns_for_jobs over the FULL job list, so shards share one
+/// layout). The header line is emitted iff `with_header` — exactly once
+/// across a sweep's non-empty shards: the shard whose slice starts at job
+/// 0 carries it, the rest emit bare rows, and concatenating the non-empty
+/// outputs in shard order reproduces the unsharded bytes.
+void write_csv(std::ostream& os, const std::vector<job_result>& results,
+               const std::vector<std::string>& columns, bool with_header);
 
 /// One JSON object per result row. Failed jobs emit an object with an
 /// "error" field instead, so JSONL output is loss-less.
@@ -37,6 +57,7 @@ struct run_summary {
   std::size_t jobs = 0;
   std::size_t failed = 0;
   std::size_t rows = 0;
+  std::size_t cache_hits = 0;       ///< jobs served from the result cache
   double total_wall_seconds = 0.0;  ///< summed across jobs
   double max_wall_seconds = 0.0;
   std::vector<std::string> errors;  ///< "scenario: message", deduplicated

@@ -128,6 +128,18 @@ struct scenario {
   std::string description;  ///< one line for --list
   std::vector<std::pair<std::string, std::vector<value>>> default_sweep;
   std::function<std::vector<result_row>(const scenario_context&)> run;
+  /// Code-version tag mixed into the on-disk cache key (runner/cache.h).
+  /// Bump it whenever run()'s observable behaviour changes: stale cached
+  /// rows for exactly this scenario stop matching, everything else stays
+  /// warm.
+  std::string version = "0";
+  /// Result columns run() emits, in emission order. Declaring them lets
+  /// the reporter compute the merged CSV header from a job list alone —
+  /// before (or without) running anything — which is what makes shard
+  /// outputs and all-cache-hit runs share one header (runner/reporter.h).
+  /// Every row of a scenario must emit exactly these columns; empty means
+  /// undeclared (header then needs executed rows).
+  std::vector<std::string> columns;
 };
 
 }  // namespace lcg::runner

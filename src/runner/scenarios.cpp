@@ -361,6 +361,13 @@ std::vector<value> strings(std::initializer_list<const char*> xs) {
 
 }  // namespace
 
+// Every registration carries a cache version tag and its declared result
+// columns. The tag is the scenario's code hash for runner/cache.h: bump it
+// whenever the run function's observable output changes, and exactly that
+// scenario's on-disk entries go stale. The column list must match what the
+// run function emits, in order (runner_shard_test pins this); it is what
+// lets --shard and all-cache-hit runs compute the sweep's CSV header
+// without executing anything.
 std::size_t register_builtin_scenarios() {
   static const bool registered = [] {
     registry& r = registry::global();
@@ -369,47 +376,74 @@ std::size_t register_builtin_scenarios() {
            {{"n", ints({20, 40, 80})},
             {"budget", doubles({6.0, 10.0})},
             {"lock", doubles({1.0, 1.5})}},
-           run_join_greedy});
+           run_join_greedy,
+           "1",
+           {"peers", "channels", "estimated_u", "exact_u_simplified",
+            "exact_u", "e_rev", "e_fees", "evaluations"}});
     r.add({"join/discrete",
            "Algorithm 2 (discretised funds, exhaustive divisions)",
            {{"n", ints({10, 14})}, {"budget", doubles({6.0, 8.0})}},
-           run_join_discrete});
+           run_join_discrete,
+           "1",
+           {"peers", "channels", "estimated_u", "exact_u", "divisions",
+            "feasible_divisions", "evaluations", "truncated"}});
     r.add({"join/continuous",
            "III-D continuous-funds local search over (peer, lock) actions",
            {{"n", ints({12, 20})}, {"budget", doubles({8.0, 12.0})}},
-           run_join_continuous});
+           run_join_continuous,
+           "1",
+           {"peers", "channels", "total_lock", "objective_u_benefit",
+            "exact_u", "evaluations", "rounds"}});
     r.add({"join/estimators",
            "fixed-lambda ablation: greedy under three rate estimators (E9)",
            {{"n", ints({30, 40})},
             {"backend", strings({"serial", "parallel"})}},
-           run_join_estimators});
+           run_join_estimators,
+           "1",
+           {"estimator", "peers", "estimated_u", "exact_u_simplified",
+            "exact_u", "e_rev", "estimations"}});
     r.add({"game/star",
            "Theorem 8 star equilibrium: closed form vs numeric checker (E11)",
            {{"s", doubles({0.0, 0.5, 1.0, 2.0})},
             {"l", doubles({0.05, 0.2, 0.5, 1.0})}},
-           run_game_star});
+           run_game_star,
+           "1",
+           {"closed_form_ne", "numeric_ne", "verdict", "deviations_checked",
+            "thm9_sufficient"}});
     r.add({"game/path_circle",
            "Theorem 10 path instability + Theorem 11 circle chord gain",
            {{"n", ints({4, 6, 8, 12})}, {"l", doubles({0.5, 1.0, 2.0})}},
-           run_game_path_circle});
+           run_game_path_circle,
+           "1",
+           {"path_deviation", "path_gain", "path_unstable",
+            "circle_chord_gain", "circle_unstable"}});
     r.add({"net/utilities",
            "Section IV utilities and welfare across whole topologies",
            {{"topology", strings({"star", "cycle", "grid", "ba"})},
             {"n", ints({6, 9, 12})},
             {"s", doubles({1.0})}},
-           run_net_utilities});
+           run_net_utilities,
+           "1",
+           {"nodes", "channels", "welfare", "best_utility",
+            "worst_utility"}});
     r.add({"sim/vs_analytic",
            "E15: discrete-event simulator revenue vs analytic E_rev",
            {{"topology", strings({"star", "cycle", "ba", "grid"})},
             {"n", ints({6, 9, 16})}},
-           run_sim_vs_analytic});
+           run_sim_vs_analytic,
+           "1",
+           {"hub", "analytic_e_rev", "measured_e_rev", "rel_err",
+            "success_reset", "success_deplete", "attempted"}});
     r.add({"sim/rates",
            "Eq. 2 edge transaction rates (with optional capacity reduction)",
            {{"topology", strings({"cycle", "star", "ba", "er"})},
             {"n", ints({8, 12, 16, 20})},
             {"tx_size", doubles({0.0, 0.5})},
             {"backend", strings({"serial", "parallel"})}},
-           run_sim_rates});
+           run_sim_rates,
+           "1",
+           {"edges", "total_edge_rate", "max_edge_rate",
+            "unroutable_rate"}});
     return true;
   }();
   (void)registered;

@@ -1,0 +1,107 @@
+# CLI acceptance for the result cache and --shard, run as a CTest:
+#
+#   cmake -DLCG_RUN=<path to lcg_run> -DWORK_DIR=<scratch dir> \
+#         -P cli_cache_shard_test.cmake
+#
+# Pins, at the level of the real binary and real files:
+#   1. A warm `--cache-dir` re-run reports 100% cache hits and produces
+#      byte-identical CSV and JSONL output (and a no-cache run matches too).
+#   2. Concatenating `--shard 0/3 .. 2/3` outputs reproduces the unsharded
+#      CSV byte for byte (shard runs are served from the shared cache,
+#      proving shard/cache composition).
+#   3. An empty shard (k >> job count) emits exactly the sweep-wide header.
+
+if(NOT DEFINED LCG_RUN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DLCG_RUN=... -DWORK_DIR=... -P cli_cache_shard_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/rcache")
+
+# run(<stderr-outvar> <output-file> args...): lcg_run must exit 0.
+function(run errvar outfile)
+  execute_process(
+    COMMAND "${LCG_RUN}" --out "${outfile}" ${ARGN}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lcg_run ${ARGN} failed (rc=${rc}):\n${err}")
+  endif()
+  set(${errvar} "${err}" PARENT_SCOPE)
+endfunction()
+
+function(assert_same_bytes a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${what}: '${a}' and '${b}' differ")
+  endif()
+endfunction()
+
+# --- 1. cold vs warm cache runs ---------------------------------------------
+
+run(cold_log "${WORK_DIR}/cold.csv" --cache-dir "${CACHE_DIR}")
+run(warm_log "${WORK_DIR}/warm.csv" --cache-dir "${CACHE_DIR}")
+assert_same_bytes("${WORK_DIR}/cold.csv" "${WORK_DIR}/warm.csv"
+                  "cold vs warm CSV")
+
+if(cold_log MATCHES "from cache")
+  message(FATAL_ERROR "cold run claims cache hits:\n${cold_log}")
+endif()
+string(REGEX MATCH "([0-9]+) job\\(s\\)" unused "${warm_log}")
+set(njobs "${CMAKE_MATCH_1}")
+if(NOT njobs OR njobs EQUAL 0)
+  message(FATAL_ERROR "could not read the job count from:\n${warm_log}")
+endif()
+string(FIND "${warm_log}" "${njobs}/${njobs} from cache" hit_pos)
+if(hit_pos EQUAL -1)
+  message(FATAL_ERROR "warm run is not 100% cache hits (${njobs} jobs):\n${warm_log}")
+endif()
+
+# A cache-less run must render the same bytes as the cached ones, in both
+# formats (--no-cache also proves the flag disables an explicit --cache-dir).
+run(u1 "${WORK_DIR}/nocache.csv" --cache-dir "${CACHE_DIR}" --no-cache --quiet)
+assert_same_bytes("${WORK_DIR}/cold.csv" "${WORK_DIR}/nocache.csv"
+                  "cached vs --no-cache CSV")
+run(u2 "${WORK_DIR}/warm.jsonl" --cache-dir "${CACHE_DIR}" --format jsonl --quiet)
+run(u3 "${WORK_DIR}/nocache.jsonl" --format jsonl --quiet)
+assert_same_bytes("${WORK_DIR}/warm.jsonl" "${WORK_DIR}/nocache.jsonl"
+                  "cached vs uncached JSONL")
+
+# --- 2. three-way shard concatenation ---------------------------------------
+
+foreach(i RANGE 0 2)
+  run(s${i} "${WORK_DIR}/shard${i}.csv" --shard ${i}/3
+      --cache-dir "${CACHE_DIR}" --quiet)
+endforeach()
+file(READ "${WORK_DIR}/shard0.csv" s0)
+file(READ "${WORK_DIR}/shard1.csv" s1)
+file(READ "${WORK_DIR}/shard2.csv" s2)
+file(WRITE "${WORK_DIR}/shards.csv" "${s0}${s1}${s2}")
+assert_same_bytes("${WORK_DIR}/cold.csv" "${WORK_DIR}/shards.csv"
+                  "unsharded vs concatenated 3-way shards CSV")
+
+foreach(i RANGE 0 1)
+  run(j${i} "${WORK_DIR}/shard${i}.jsonl" --shard ${i}/2
+      --cache-dir "${CACHE_DIR}" --format jsonl --quiet)
+endforeach()
+file(READ "${WORK_DIR}/shard0.jsonl" j0)
+file(READ "${WORK_DIR}/shard1.jsonl" j1)
+file(WRITE "${WORK_DIR}/shards.jsonl" "${j0}${j1}")
+assert_same_bytes("${WORK_DIR}/warm.jsonl" "${WORK_DIR}/shards.jsonl"
+                  "unsharded vs concatenated 2-way shards JSONL")
+
+# --- 3. an empty shard is exactly the sweep-wide header ---------------------
+
+run(e "${WORK_DIR}/empty.csv" --shard 0/100000 --cache-dir "${CACHE_DIR}" --quiet)
+file(READ "${WORK_DIR}/cold.csv" full_csv)
+string(FIND "${full_csv}" "\n" nl_pos)
+math(EXPR header_len "${nl_pos} + 1")
+string(SUBSTRING "${full_csv}" 0 ${header_len} header)
+file(READ "${WORK_DIR}/empty.csv" empty_csv)
+if(NOT empty_csv STREQUAL header)
+  message(FATAL_ERROR "empty shard is not header-only:\n${empty_csv}")
+endif()
+
+message(STATUS "cli_cache_shard: ${njobs} jobs — warm 100% hits, 3-way shard concat byte-identical, empty shard header-only")

@@ -1,0 +1,415 @@
+// The result cache (runner/cache.h) and its executor integration: hits and
+// misses, version-tag invalidation, corrupted-entry fallback, concurrent
+// writers, exact value round-trips, and the cold-vs-warm byte-identity
+// guarantee of the CSV/JSONL reporters.
+
+#include "runner/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "runner/executor.h"
+#include "runner/registry.h"
+#include "runner/reporter.h"
+
+namespace lcg::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch directory per test (ctest runs binaries in parallel, so
+/// each test gets its own path).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("lcg_cache_test_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string to_csv(const std::vector<job_result>& results) {
+  std::ostringstream os;
+  write_csv(os, results);
+  return os.str();
+}
+
+std::string to_jsonl(const std::vector<job_result>& results) {
+  std::ostringstream os;
+  write_jsonl(os, results);
+  return os.str();
+}
+
+/// A deterministic scenario that counts how often its run() is invoked —
+/// the probe for "a warm run spawns zero scenario jobs".
+scenario counting_scenario(std::atomic<std::size_t>* calls) {
+  scenario sc;
+  sc.name = "test/counted";
+  sc.description = "counts run() invocations";
+  sc.version = "1";
+  sc.columns = {"n", "draw", "real"};
+  sc.run = [calls](const scenario_context& ctx) {
+    calls->fetch_add(1);
+    rng gen = ctx.make_rng();
+    result_row row;
+    row.set("n", ctx.get_int("n", 0))
+        .set("draw", static_cast<long long>(gen() % 1000000))
+        .set("real", gen.uniform01());
+    return std::vector<result_row>{row};
+  };
+  return sc;
+}
+
+std::vector<job> sweep_of(const scenario& sc, std::size_t points,
+                          std::uint32_t seeds = 1) {
+  param_grid grid;
+  std::vector<value> ns;
+  for (std::size_t i = 0; i < points; ++i)
+    ns.emplace_back(static_cast<long long>(i));
+  grid.sweep("n", ns);
+  return expand_jobs(sc, grid, seeds, 42);
+}
+
+TEST(CacheKey, DistinguishesTypesAndIdentity) {
+  scenario sc;
+  sc.name = "test/key";
+  sc.version = "1";
+  sc.run = [](const scenario_context&) { return std::vector<result_row>{}; };
+
+  job base;
+  base.sc = &sc;
+  base.seed = 7;
+  base.params["x"] = value(1LL);
+
+  job as_double = base;
+  as_double.params["x"] = value(1.0);
+  job as_string = base;
+  as_string.params["x"] = value(std::string("1"));
+  job other_seed = base;
+  other_seed.seed = 8;
+
+  EXPECT_NE(cache_key(base), cache_key(as_double));
+  EXPECT_NE(cache_key(base), cache_key(as_string));
+  EXPECT_NE(cache_key(as_double), cache_key(as_string));
+  EXPECT_NE(cache_key(base), cache_key(other_seed));
+  EXPECT_EQ(cache_key(base), cache_key(base));  // stable
+
+  scenario bumped = sc;
+  bumped.version = "2";
+  job rebuilt = base;
+  rebuilt.sc = &bumped;
+  EXPECT_NE(cache_key(base), cache_key(rebuilt));
+
+  // The replicate index is NOT part of the key: rows depend only on
+  // (name, params, seed), and the reporter re-attaches replicate.
+  job replicated = base;
+  replicated.replicate = 3;
+  EXPECT_EQ(cache_key(base), cache_key(replicated));
+
+  // '=' inside names/values must not shift the name/value boundary:
+  // {"x": "y=s:z"} and {"x=s:y": "z"} would collide if '=' passed through
+  // unescaped, and a collision silently serves the wrong rows.
+  job tricky_value = base;
+  tricky_value.params.clear();
+  tricky_value.params["x"] = value(std::string("y=s:z"));
+  job tricky_name = base;
+  tricky_name.params.clear();
+  tricky_name.params["x=s:y"] = value(std::string("z"));
+  EXPECT_NE(cache_key(tricky_value), cache_key(tricky_name));
+}
+
+TEST(Cache, HitMissRoundTripAndZeroSpawnsWhenWarm) {
+  const fs::path dir = scratch_dir("roundtrip");
+  std::atomic<std::size_t> calls{0};
+  const scenario sc = counting_scenario(&calls);
+  const std::vector<job> jobs = sweep_of(sc, 12, 2);
+
+  run_options options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+
+  const std::vector<job_result> cold = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), jobs.size());
+  for (const job_result& r : cold) EXPECT_FALSE(r.from_cache);
+
+  std::size_t progress_calls = 0;
+  options.on_progress = [&](std::size_t, std::size_t total,
+                            const job_result&) {
+    ++progress_calls;
+    EXPECT_EQ(total, jobs.size());
+  };
+  const std::vector<job_result> warm = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), jobs.size());  // zero scenario executions
+  EXPECT_EQ(progress_calls, jobs.size());
+  for (const job_result& r : warm) {
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+  EXPECT_EQ(summarise(cold).cache_hits, 0u);
+
+  // Byte-identity through both reporters.
+  EXPECT_EQ(to_csv(cold), to_csv(warm));
+  EXPECT_EQ(to_jsonl(cold), to_jsonl(warm));
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, VersionTagInvalidatesExactlyThatScenario) {
+  const fs::path dir = scratch_dir("version");
+  std::atomic<std::size_t> calls{0};
+  scenario sc = counting_scenario(&calls);
+
+  run_options options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+
+  const std::vector<job> v1_jobs = sweep_of(sc, 8);
+  (void)run_jobs(v1_jobs, options);
+  EXPECT_EQ(calls.load(), 8u);
+
+  // Same params and seeds, bumped version: every entry is stale.
+  scenario bumped = sc;
+  bumped.version = "2";
+  const std::vector<job> v2_jobs = sweep_of(bumped, 8);
+  const std::vector<job_result> recomputed = run_jobs(v2_jobs, options);
+  EXPECT_EQ(calls.load(), 16u);
+  for (const job_result& r : recomputed) EXPECT_FALSE(r.from_cache);
+
+  // Both generations now coexist: each warm-runs independently.
+  (void)run_jobs(v1_jobs, options);
+  (void)run_jobs(v2_jobs, options);
+  EXPECT_EQ(calls.load(), 16u);
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, CorruptedEntriesFallBackToRecompute) {
+  const fs::path dir = scratch_dir("corrupt");
+  std::atomic<std::size_t> calls{0};
+  const scenario sc = counting_scenario(&calls);
+  const std::vector<job> jobs = sweep_of(sc, 6);
+
+  run_options options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+  const std::vector<job_result> cold = run_jobs(jobs, options);
+  ASSERT_EQ(calls.load(), 6u);
+
+  const result_cache cache(dir);
+  {  // garbage
+    std::ofstream out(cache.entry_path(jobs[0]), std::ios::trunc);
+    out << "not a cache entry\n";
+  }
+  {  // truncation mid-row
+    std::ifstream in(cache.entry_path(jobs[1]));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string full = buffer.str();
+    std::ofstream out(cache.entry_path(jobs[1]), std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+  {  // valid key but an absurd row count: a miss, not an allocation crash
+    std::ifstream in(cache.entry_path(jobs[2]));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string full = buffer.str();
+    const std::size_t at = full.find("\nrows ");
+    ASSERT_NE(at, std::string::npos);
+    full.replace(at, full.find('\n', at + 1) - at,
+                 "\nrows 18446744073709551615");
+    std::ofstream out(cache.entry_path(jobs[2]), std::ios::trunc);
+    out << full;
+  }
+
+  const std::vector<job_result> repaired = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), 9u);  // exactly the three damaged entries recomputed
+  EXPECT_FALSE(repaired[0].from_cache);
+  EXPECT_FALSE(repaired[1].from_cache);
+  EXPECT_FALSE(repaired[2].from_cache);
+  for (std::size_t i = 3; i < repaired.size(); ++i)
+    EXPECT_TRUE(repaired[i].from_cache);
+  EXPECT_EQ(to_csv(cold), to_csv(repaired));
+
+  // The rewrite repaired the entries: fully warm again.
+  const std::vector<job_result> warm = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), 9u);
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+  EXPECT_EQ(to_csv(cold), to_csv(warm));
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, FailedJobsAreNeverCached) {
+  const fs::path dir = scratch_dir("failures");
+  std::atomic<std::size_t> calls{0};
+  scenario sc;
+  sc.name = "test/flaky";
+  sc.description = "fails on odd n";
+  sc.version = "1";
+  sc.columns = {"ok"};
+  sc.run = [&calls](const scenario_context& ctx) {
+    calls.fetch_add(1);
+    if (ctx.get_int("n", 0) % 2 == 1)
+      throw precondition_error("odd n rejected");
+    return std::vector<result_row>{result_row().set("ok", 1LL)};
+  };
+  const std::vector<job> jobs = sweep_of(sc, 10);
+
+  run_options options;
+  options.jobs = 2;
+  options.cache_dir = dir.string();
+  (void)run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), 10u);
+
+  // Successes warm-hit; failures are retried (and fail again).
+  const std::vector<job_result> second = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), 15u);
+  const run_summary summary = summarise(second);
+  EXPECT_EQ(summary.cache_hits, 5u);
+  EXPECT_EQ(summary.failed, 5u);
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, ConcurrentWritersUnderJobs8AreSafe) {
+  const fs::path dir = scratch_dir("concurrent");
+  std::atomic<std::size_t> calls{0};
+  const scenario sc = counting_scenario(&calls);
+
+  // 64 distinct keys plus duplicated jobs (same key computed and stored by
+  // two workers racing on one entry path).
+  std::vector<job> jobs = sweep_of(sc, 32, 2);
+  const std::vector<job> dup(jobs.begin(), jobs.begin() + 8);
+  jobs.insert(jobs.end(), dup.begin(), dup.end());
+
+  run_options options;
+  options.jobs = 8;
+  options.cache_dir = dir.string();
+  const std::vector<job_result> cold = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), jobs.size());
+
+  const std::vector<job_result> warm = run_jobs(jobs, options);
+  EXPECT_EQ(calls.load(), jobs.size());
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+  EXPECT_EQ(to_csv(cold), to_csv(warm));
+  EXPECT_EQ(to_jsonl(cold), to_jsonl(warm));
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, ValuesRoundTripBitExactly) {
+  const fs::path dir = scratch_dir("values");
+  scenario sc;
+  sc.name = "test/values";
+  sc.description = "adversarial cell values";
+  sc.version = "1";
+  sc.columns = {"text", "tricky", "i_min", "i_neg", "d_tenth", "d_tiny",
+                "d_huge", "d_negzero"};
+  sc.run = [](const scenario_context&) {
+    result_row row;
+    row.set("text", std::string("with space, comma and %25 percent"))
+        .set("tricky", std::string("line\nbreak\tand\rreturn"))
+        .set("i_min", -9223372036854775807LL - 1)
+        .set("i_neg", -42LL)
+        .set("d_tenth", 0.1)
+        .set("d_tiny", 4.9406564584124654e-324)  // min subnormal
+        .set("d_huge", 1.7976931348623157e308)
+        .set("d_negzero", -0.0);
+    return std::vector<result_row>{row};
+  };
+  const std::vector<job> jobs = sweep_of(sc, 1);
+
+  run_options options;
+  options.cache_dir = dir.string();
+  const std::vector<job_result> cold = run_jobs(jobs, options);
+  const std::vector<job_result> warm = run_jobs(jobs, options);
+  ASSERT_TRUE(warm[0].from_cache);
+  ASSERT_EQ(cold[0].rows.size(), warm[0].rows.size());
+  const auto& a = cold[0].rows[0].cells();
+  const auto& b = warm[0].rows[0].cells();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second.index(), b[i].second.index());  // type preserved
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+  // -0.0 keeps its sign bit (operator== treats -0.0 == 0.0).
+  EXPECT_TRUE(std::signbit(std::get<double>(b.back().second)));
+  EXPECT_EQ(to_csv(cold), to_csv(warm));
+  EXPECT_EQ(to_jsonl(cold), to_jsonl(warm));
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, ColdVsWarmBuiltinSweepIsByteIdentical) {
+  // End-to-end over real registered scenarios (the cheap game/* family).
+  register_builtin_scenarios();
+  const fs::path dir = scratch_dir("builtin");
+
+  std::vector<job> jobs;
+  for (const scenario* sc : registry::global().match("game/*")) {
+    std::vector<job> expanded =
+        expand_jobs(*sc, param_grid(sc->default_sweep), 1, 42);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+  ASSERT_FALSE(jobs.empty());
+
+  run_options cached;
+  cached.jobs = 4;
+  cached.cache_dir = dir.string();
+  run_options uncached;
+  uncached.jobs = 4;
+
+  const std::vector<job_result> cold = run_jobs(jobs, cached);
+  const std::vector<job_result> warm = run_jobs(jobs, cached);
+  const std::vector<job_result> plain = run_jobs(jobs, uncached);
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+  // Cold, warm, and cache-less runs all render the same bytes.
+  EXPECT_EQ(to_csv(plain), to_csv(cold));
+  EXPECT_EQ(to_csv(cold), to_csv(warm));
+  EXPECT_EQ(to_jsonl(plain), to_jsonl(warm));
+
+  fs::remove_all(dir);
+}
+
+TEST(Cache, StoreAndLookupDirectly) {
+  const fs::path dir = scratch_dir("direct");
+  scenario sc;
+  sc.name = "test/direct";
+  sc.version = "1";
+  sc.run = [](const scenario_context&) { return std::vector<result_row>{}; };
+  job j;
+  j.sc = &sc;
+  j.seed = 1234;
+  j.params["k"] = value(std::string("v"));
+
+  const result_cache cache(dir);
+  EXPECT_FALSE(cache.lookup(j).has_value());  // cold directory: miss
+
+  std::vector<result_row> rows;
+  rows.push_back(result_row().set("a", 1LL).set("b", 2.5));
+  rows.push_back(result_row().set("a", 2LL).set("b", std::string("x")));
+  ASSERT_TRUE(cache.store(j, rows));
+  const std::optional<std::vector<result_row>> read = cache.lookup(j);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0].cells(), rows[0].cells());
+  EXPECT_EQ((*read)[1].cells(), rows[1].cells());
+
+  // Empty row list is a valid (and distinguishable) cached value.
+  job j2 = j;
+  j2.seed = 99;
+  ASSERT_TRUE(cache.store(j2, {}));
+  const auto empty = cache.lookup(j2);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lcg::runner

@@ -1,0 +1,302 @@
+// Deterministic sharding (runner/grid.h shard_spec) and its reporter
+// contract: concatenating the k shard outputs in shard order is
+// byte-identical to the unsharded sweep, empty shards emit a valid header,
+// and sharding composes with --filter and the result cache. Also pins the
+// declared-columns metadata that makes the shared header computable from a
+// job list alone.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+
+#include "runner/cache.h"
+#include "runner/executor.h"
+#include "runner/registry.h"
+#include "runner/reporter.h"
+
+namespace lcg::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("lcg_shard_test_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Renders a shard the way lcg_run does: rows against the sweep-wide
+/// layout, header on the shard whose slice starts at job 0 (so exactly one
+/// non-empty shard carries it, whatever k is) or when the shard is empty.
+std::string shard_csv(const std::vector<job_result>& results,
+                      const std::vector<std::string>& layout,
+                      std::size_t total_jobs, shard_spec shard) {
+  std::ostringstream os;
+  const bool with_header =
+      shard_range(total_jobs, shard).first == 0 || results.empty();
+  write_csv(os, results, layout, with_header);
+  return os.str();
+}
+
+std::string to_jsonl(const std::vector<job_result>& results) {
+  std::ostringstream os;
+  write_jsonl(os, results);
+  return os.str();
+}
+
+/// The full default catalog expanded exactly like a bare `lcg_run`.
+std::vector<job> default_catalog_jobs() {
+  register_builtin_scenarios();
+  return expand_default_jobs(registry::global().all(), 1, 42);
+}
+
+TEST(ShardSpec, ParseAcceptsOnlyValidSlices) {
+  const auto ok = [](std::string_view text, std::uint32_t index,
+                     std::uint32_t count) {
+    const std::optional<shard_spec> s = parse_shard(text);
+    ASSERT_TRUE(s.has_value()) << text;
+    EXPECT_EQ(s->index, index);
+    EXPECT_EQ(s->count, count);
+  };
+  ok("0/1", 0, 1);
+  ok("2/3", 2, 3);
+  ok("0/500", 0, 500);
+
+  for (const char* bad :
+       {"", "1", "1/", "/2", "3/3", "4/3", "-1/2", "a/b", "1/0", "1/2/3",
+        "1.0/2", " 1/2", "1/2 "}) {
+    EXPECT_FALSE(parse_shard(bad).has_value()) << bad;
+  }
+}
+
+TEST(ShardSpec, PartitionIsLosslessOrderedAndBalanced) {
+  for (const std::size_t n : {0ul, 1ul, 5ul, 106ul, 140ul, 1000ul}) {
+    for (const std::uint32_t k : {1u, 2u, 3u, 7u, 64u, 200u}) {
+      std::vector<std::size_t> covered;
+      std::size_t min_size = n + 1, max_size = 0;
+      std::size_t expected_begin = 0;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const auto [begin, end] = shard_range(n, {i, k});
+        ASSERT_LE(begin, end);
+        // Contiguous: each slice starts where the previous ended.
+        EXPECT_EQ(begin, expected_begin);
+        expected_begin = end;
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+        for (std::size_t j = begin; j < end; ++j) covered.push_back(j);
+      }
+      // Lossless and ordered: concatenation is exactly 0..n-1.
+      ASSERT_EQ(covered.size(), n);
+      for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(covered[j], j);
+      // Balanced within one job.
+      if (n > 0) EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(Shard, SlicePreservesJobsAndSeeds) {
+  const std::vector<job> jobs = default_catalog_jobs();
+  ASSERT_GE(jobs.size(), 100u);  // the "106-job class" default sweep
+  for (const std::uint32_t k : {2u, 3u, 7u}) {
+    std::size_t at = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::vector<job> slice = take_shard(jobs, {i, k});
+      for (const job& j : slice) {
+        ASSERT_LT(at, jobs.size());
+        EXPECT_EQ(j.sc, jobs[at].sc);
+        EXPECT_EQ(j.seed, jobs[at].seed);  // unsharded seeds, untouched
+        EXPECT_EQ(j.params, jobs[at].params);
+        EXPECT_EQ(j.replicate, jobs[at].replicate);
+        ++at;
+      }
+    }
+    EXPECT_EQ(at, jobs.size());
+  }
+}
+
+TEST(Shard, DeclaredColumnsMatchEmittedRows) {
+  // The layout-from-jobs machinery is only sound if every builtin
+  // scenario's declared columns equal what its run() actually emits, in
+  // order. Run one cheap job per scenario and compare.
+  register_builtin_scenarios();
+  for (const scenario* sc : registry::global().all()) {
+    ASSERT_FALSE(sc->columns.empty()) << sc->name;
+    param_grid grid(sc->default_sweep);
+    std::vector<job> jobs = expand_jobs(*sc, grid, 1, 42);
+    jobs.resize(1);  // first default grid point is enough
+    const std::vector<job_result> results = run_jobs(jobs, {});
+    ASSERT_TRUE(results[0].ok()) << sc->name << ": " << results[0].error;
+    ASSERT_FALSE(results[0].rows.empty()) << sc->name;
+    for (const result_row& row : results[0].rows) {
+      ASSERT_EQ(row.cells().size(), sc->columns.size()) << sc->name;
+      for (std::size_t c = 0; c < sc->columns.size(); ++c)
+        EXPECT_EQ(row.cells()[c].first, sc->columns[c]) << sc->name;
+    }
+  }
+}
+
+TEST(Shard, LayoutFromJobsMatchesLayoutFromResults) {
+  // merged_columns_for_jobs (pre-run, declaration-based) must equal
+  // merged_columns (post-run, row-based) on the catalog — this is what
+  // guarantees the sharded header equals the unsharded one.
+  const std::vector<job> jobs = default_catalog_jobs();
+  const std::optional<std::vector<std::string>> layout =
+      merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  EXPECT_EQ(*layout, merged_columns(results));
+}
+
+TEST(Shard, UndeclaredColumnsDisableJobDerivedLayout) {
+  scenario sc;
+  sc.name = "test/undeclared";
+  sc.run = [](const scenario_context&) {
+    return std::vector<result_row>{result_row().set("v", 1LL)};
+  };
+  param_grid grid;
+  grid.set("n", value(1LL));
+  const std::vector<job> jobs = expand_jobs(sc, grid, 1, 1);
+  EXPECT_FALSE(merged_columns_for_jobs(jobs).has_value());
+  EXPECT_TRUE(merged_columns_for_jobs({}).has_value());  // vacuously known
+}
+
+TEST(Shard, ConcatenationIsByteIdenticalToUnshardedSweep) {
+  // The acceptance check at executor level, over the full default catalog
+  // for k in {1, 2, 3, 7}. A shared result cache keeps this affordable:
+  // the unsharded run pays for every job once, shard runs are all hits —
+  // which simultaneously proves --shard composes with the cache (shard
+  // slices preserve the unsharded seeds, hence the unsharded cache keys).
+  const fs::path dir = scratch_dir("concat");
+  const std::vector<job> jobs = default_catalog_jobs();
+  const std::optional<std::vector<std::string>> layout =
+      merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  run_options options;
+  options.jobs = 4;
+  options.cache_dir = dir.string();
+
+  const std::vector<job_result> full = run_jobs(jobs, options);
+  for (const job_result& r : full) ASSERT_TRUE(r.ok()) << r.error;
+  const std::string full_csv = shard_csv(full, *layout, jobs.size(), {0, 1});
+  const std::string full_jsonl = to_jsonl(full);
+
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+    std::string concat_csv, concat_jsonl;
+    std::size_t hits = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::vector<job> slice = take_shard(jobs, {i, k});
+      const std::vector<job_result> results = run_jobs(slice, options);
+      concat_csv += shard_csv(results, *layout, jobs.size(), {i, k});
+      concat_jsonl += to_jsonl(results);
+      hits += summarise(results).cache_hits;
+    }
+    EXPECT_EQ(hits, jobs.size()) << "k=" << k;  // cache composition
+    EXPECT_EQ(concat_csv, full_csv) << "k=" << k;
+    EXPECT_EQ(concat_jsonl, full_jsonl) << "k=" << k;
+  }
+
+  fs::remove_all(dir);
+}
+
+TEST(Shard, ComposesWithFilterLikeTheCli) {
+  // --filter 'game/*' --shard i/2: the filtered sweep is what gets
+  // sharded, and concatenation reproduces the filtered unsharded run.
+  register_builtin_scenarios();
+  const std::vector<job> jobs =
+      expand_default_jobs(registry::global().match("game/*"), 1, 42);
+  ASSERT_FALSE(jobs.empty());
+  const std::optional<std::vector<std::string>> layout =
+      merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  const std::vector<job_result> full = run_jobs(jobs, {});
+  const std::string full_csv = shard_csv(full, *layout, jobs.size(), {0, 1});
+
+  std::string concat;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const std::vector<job_result> results =
+        run_jobs(take_shard(jobs, {i, 2}), {});
+    concat += shard_csv(results, *layout, jobs.size(), {i, 2});
+  }
+  EXPECT_EQ(concat, full_csv);
+}
+
+TEST(Shard, EmptyShardEmitsExactlyTheHeader) {
+  // k > job count: the slice is empty; CSV output is the sweep-wide header
+  // and nothing else (self-describing "zero rows", not a 0-byte file);
+  // JSONL output is empty (the format has no header).
+  const std::vector<job> jobs = default_catalog_jobs();
+  const std::optional<std::vector<std::string>> layout =
+      merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  const shard_spec empty_shard{0, 100000};
+  const std::vector<job> slice = take_shard(jobs, empty_shard);
+  ASSERT_TRUE(slice.empty());
+  const std::vector<job_result> results = run_jobs(slice, {});
+
+  const std::string csv = shard_csv(results, *layout, jobs.size(), empty_shard);
+  std::string header;
+  for (std::size_t i = 0; i < layout->size(); ++i) {
+    if (i) header += ',';
+    header += (*layout)[i];
+  }
+  header += '\n';
+  EXPECT_EQ(csv, header);
+  EXPECT_EQ(to_jsonl(results), "");
+
+  // And the header equals the unsharded sweep's first line.
+  const std::vector<job_result> full = run_jobs(take_shard(jobs, {0, 70}), {});
+  const std::string some = shard_csv(full, *layout, jobs.size(), {0, 70});
+  EXPECT_EQ(some.substr(0, header.size()), header);
+}
+
+TEST(Shard, MixedEmptyAndNonEmptyShardsStillConcatenate) {
+  // k > job count with interleaved empty and non-empty slices (the shape
+  // that would double-emit headers if "shard 0" rather than "slice starts
+  // at job 0" carried it): concatenating only the NON-EMPTY shard outputs
+  // must reproduce the unsharded run, and every empty shard must be
+  // header-only.
+  register_builtin_scenarios();
+  std::vector<job> jobs =
+      expand_default_jobs(registry::global().match("join/discrete"), 1, 42);
+  jobs.resize(2);  // two jobs sharded four ways: empty/1/empty/1
+  const std::optional<std::vector<std::string>> layout =
+      merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  const std::vector<job_result> full = run_jobs(jobs, {});
+  const std::string full_csv = shard_csv(full, *layout, jobs.size(), {0, 1});
+
+  std::string header;
+  for (std::size_t i = 0; i < layout->size(); ++i) {
+    if (i) header += ',';
+    header += (*layout)[i];
+  }
+  header += '\n';
+
+  std::string concat;
+  std::size_t empty_shards = 0, nonempty_shards = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const std::vector<job> slice = take_shard(jobs, {i, 4});
+    const std::vector<job_result> results = run_jobs(slice, {});
+    const std::string csv = shard_csv(results, *layout, jobs.size(), {i, 4});
+    if (slice.empty()) {
+      ++empty_shards;
+      EXPECT_EQ(csv, header) << "shard " << i;  // self-describing, excluded
+    } else {
+      ++nonempty_shards;
+      concat += csv;
+    }
+  }
+  EXPECT_EQ(empty_shards, 2u);
+  EXPECT_EQ(nonempty_shards, 2u);
+  EXPECT_EQ(concat, full_csv);
+}
+
+}  // namespace
+}  // namespace lcg::runner
