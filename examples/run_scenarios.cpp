@@ -1,6 +1,9 @@
 // lcg_run: the scenario-runner CLI.
 //
 //   lcg_run --list                         show registered scenarios
+//   lcg_run --list-md                      scenario catalog as a markdown
+//                                          table (README.md's source; CI
+//                                          diffs the committed copy)
 //   lcg_run                                run every default sweep
 //   lcg_run --filter 'join/*' --jobs 8     parallel sweep of one family
 //   lcg_run --jobs 4 --threads 2           4 workers x 2 threads per job
@@ -44,6 +47,7 @@ using namespace lcg;
 
 struct cli_options {
   bool list = false;
+  bool list_md = false;
   bool quiet = false;
   std::vector<std::string> filters;
   std::size_t jobs = 0;     // 0 = hardware concurrency
@@ -77,7 +81,8 @@ std::optional<std::uint64_t> parse_uint(const std::string& text) {
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: lcg_run [--list] [--filter GLOB]... [--set KEY=VALUE]...\n"
+  os << "usage: lcg_run [--list | --list-md] [--filter GLOB]...\n"
+        "               [--set KEY=VALUE]...\n"
         "               [--jobs N] [--threads T] [--seeds K] [--seed S]\n"
         "               [--out FILE] [--format csv|jsonl] [--quiet]\n"
         "               [--cache-dir DIR] [--no-cache] [--shard I/K]\n";
@@ -96,6 +101,8 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
     };
     if (arg == "--list") {
       opt.list = true;
+    } else if (arg == "--list-md") {
+      opt.list_md = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -183,6 +190,50 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
   return opt;
 }
 
+/// '|' would open a new table cell mid-row; escape it so any future
+/// description or column name containing a pipe still renders as one cell.
+std::string md_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '|') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// The scenario catalog as a GitHub-markdown table. This is the canonical
+/// source of README.md's catalog section: CI regenerates it and diffs it
+/// against the committed table, so the two can never drift.
+void print_markdown_catalog(std::ostream& os,
+                            const std::vector<const runner::scenario*>& scs) {
+  os << "| Scenario | Jobs | Default sweep | Result columns | "
+        "Description |\n"
+     << "|---|---|---|---|---|\n";
+  for (const runner::scenario* sc : scs) {
+    runner::param_grid grid(sc->default_sweep);
+    os << "| `" << sc->name << "` | " << grid.size() << " | ";
+    bool first_axis = true;
+    for (const auto& [key, values] : grid.axes()) {
+      if (!first_axis) os << ", ";
+      first_axis = false;
+      os << "`" << key << "={";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) os << ",";
+        os << md_escape(runner::render_value(values[i]));
+      }
+      os << "}`";
+    }
+    if (first_axis) os << "—";
+    os << " | ";
+    for (std::size_t i = 0; i < sc->columns.size(); ++i) {
+      if (i) os << ", ";
+      os << md_escape(sc->columns[i]);
+    }
+    os << " | " << md_escape(sc->description) << " |\n";
+  }
+}
+
 std::vector<const runner::scenario*> select_scenarios(
     const cli_options& opt) {
   const runner::registry& reg = runner::registry::global();
@@ -210,6 +261,10 @@ int main(int argc, char** argv) {
   const std::vector<const runner::scenario*> scenarios =
       select_scenarios(opt);
 
+  if (opt.list_md) {
+    print_markdown_catalog(std::cout, scenarios);
+    return 0;
+  }
   if (opt.list) {
     for (const runner::scenario* sc : scenarios) {
       runner::param_grid grid(sc->default_sweep);

@@ -157,6 +157,14 @@ std::string cache_key(const job& j) {
   LCG_EXPECTS(j.sc != nullptr);
   std::string key = "scenario=" + escape(j.sc->name);
   key += "\nversion=" + escape(j.sc->version);
+  // Declared columns are part of the identity: changing a scenario's row
+  // shape invalidates its entries even when the version bump is forgotten
+  // (the version tag still covers behaviour changes that keep the shape).
+  // One segment per column — '\n' is escaped, so the list is unambiguous.
+  for (const std::string& column : j.sc->columns) {
+    key += "\ncolumn=";
+    key += escape(column);
+  }
   key += "\nseed=" + std::to_string(j.seed);
   for (const auto& [name, v] : j.params) {
     key += "\nparam=" + escape(name) + "=" + tagged(v);

@@ -32,12 +32,13 @@
 namespace lcg::runner {
 
 /// The canonical cache identity of a job: scenario name, the scenario's
-/// version tag, the job seed, and every parameter with an explicit type tag
-/// (so the integer 1, the double 1.0 and the string "1" never alias).
-/// Parameters appear in param_map (sorted) order, making the key
-/// independent of construction order. The replicate index is deliberately
-/// absent: rows depend only on (name, params, seed); replicate is job
-/// identity the reporter re-attaches.
+/// version tag, its declared result columns (so a changed row shape
+/// invalidates entries even without a version bump), the job seed, and
+/// every parameter with an explicit type tag (so the integer 1, the double
+/// 1.0 and the string "1" never alias). Parameters appear in param_map
+/// (sorted) order, making the key independent of construction order. The
+/// replicate index is deliberately absent: rows depend only on (name,
+/// params, seed); replicate is job identity the reporter re-attaches.
 [[nodiscard]] std::string cache_key(const job& j);
 
 /// 64-bit FNV-1a of the canonical key — the entry's content address.

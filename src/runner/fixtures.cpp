@@ -71,12 +71,21 @@ graph::digraph make_topology(const std::string& name, std::size_t n,
     return graph::barabasi_albert(n, 2, gen);
   }
   if (name == "er") return make_connected_er(n, 0.3, gen);
+  if (name == "ws") {
+    // Ring + rewiring keeps edge count linear in n (unlike "er", whose
+    // p=0.3 density is quadratic), so this family is the small-world host
+    // for the 10^4-node scale scenarios. n in {3, 4} degenerates to the
+    // plain ring (watts_strogatz needs n > 2k); n == 2 throws, preserving
+    // the contract that the returned graph has exactly n nodes.
+    if (n <= 4) return graph::cycle_graph(n);
+    return graph::watts_strogatz(n, 2, 0.1, gen);
+  }
   throw precondition_error("unknown topology '" + name + "'");
 }
 
 const std::vector<std::string>& topology_names() {
   static const std::vector<std::string> names{
-      "star", "path", "cycle", "complete", "grid", "ba", "er"};
+      "star", "path", "cycle", "complete", "grid", "ba", "er", "ws"};
   return names;
 }
 

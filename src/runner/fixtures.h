@@ -45,9 +45,11 @@ struct join_instance {
 
 /// Named topology factory: "star", "path", "cycle", "complete", "grid"
 /// (rows x cols from n = rows*cols, as square as possible), "ba"
-/// (Barabási–Albert, attach 2), "er" (Erdős–Rényi p=0.3 + cycle overlay).
-/// `gen` is consumed only by the random families. Throws precondition_error
-/// for unknown names or infeasible sizes.
+/// (Barabási–Albert, attach 2), "er" (Erdős–Rényi p=0.3 + cycle overlay),
+/// "ws" (Watts–Strogatz ring, k=2 per side, beta=0.1 — linear edge count,
+/// usable at 10^4 nodes where "er" would be quadratic). `gen` is consumed
+/// only by the random families. Throws precondition_error for unknown names
+/// or infeasible sizes.
 [[nodiscard]] graph::digraph make_topology(const std::string& name,
                                            std::size_t n, rng& gen);
 

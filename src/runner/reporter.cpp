@@ -10,13 +10,13 @@
 
 namespace lcg::runner {
 
-namespace {
-
 std::string render_value(const value& v) {
   if (const auto* s = std::get_if<std::string>(&v)) return *s;
   if (const auto* i = std::get_if<long long>(&v)) return std::to_string(*i);
   return render_double(std::get<double>(v));
 }
+
+namespace {
 
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;

@@ -21,6 +21,12 @@
 
 namespace lcg::runner {
 
+/// Canonical cell rendering shared by every reporter surface: strings
+/// verbatim, integers via to_string, doubles via shortest-round-trip
+/// std::to_chars (util/format.h). The lcg_run --list-md catalog renders
+/// sweep values through this too, so docs and CSV cells cannot drift.
+[[nodiscard]] std::string render_value(const value& v);
+
 /// The merged header for a result set: "scenario", "seed", "replicate",
 /// sorted parameter keys, then result columns in first-appearance order.
 [[nodiscard]] std::vector<std::string> merged_columns(

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "core/brute_force.h"
@@ -20,10 +21,14 @@
 #include "runner/fixtures.h"
 #include "runner/registry.h"
 #include "sim/engine.h"
+#include "sim/estimation.h"
+#include "sim/rebalancing.h"
+#include "topology/dynamics.h"
 #include "topology/game.h"
 #include "topology/nash.h"
 #include "topology/path_circle.h"
 #include "topology/star.h"
+#include "util/format.h"
 
 namespace lcg::runner {
 
@@ -341,6 +346,371 @@ std::vector<result_row> run_sim_rates(const scenario_context& ctx) {
   return {row};
 }
 
+// --- sim/rebalance_policy: circular self-payment rebalancing ([30]) -------
+
+/// One simulation under `policy` (null = no rebalancing), on a fresh copy of
+/// the network so the with/without arms replay the identical workload
+/// against the identical initial deposits.
+sim::sim_metrics simulate_with_policy(
+    const graph::digraph& topo, const dist::demand_model& demand,
+    const std::vector<std::pair<double, double>>& deposits, double horizon,
+    double rebalance_period, std::uint64_t workload_seed,
+    const sim::rebalancing_policy* policy) {
+  pcn::network net(topo.node_count());
+  std::size_t channel = 0;
+  for (graph::edge_id e = 0; e < topo.edge_slots(); e += 2) {
+    const graph::edge& ed = topo.edge_at(e);
+    net.open_channel(ed.src, ed.dst, deposits[channel].first,
+                     deposits[channel].second);
+    ++channel;
+  }
+  const dist::fixed_tx_size sizes(1.0);
+  sim::workload_generator wl(demand, sizes, workload_seed);
+  sim::sim_config config;
+  config.horizon = horizon;
+  config.rebalancing = policy;
+  config.rebalance_period = rebalance_period;
+  return sim::run_simulation(net, wl, config);
+}
+
+std::vector<result_row> run_rebalance_policy(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "cycle");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 12));
+  const double balance = ctx.get_double("balance", 12.0);
+  const double horizon = ctx.get_double("horizon", 120.0);
+  const double rebalance_period = ctx.get_double("rebalance_period", 5.0);
+  sim::rebalancing_policy policy;
+  policy.low_watermark = ctx.get_double("low_watermark", 0.25);
+  policy.target = ctx.get_double("target", 0.5);
+  policy.max_cycle_len =
+      static_cast<std::size_t>(ctx.get_int("max_cycle_len", 8));
+
+  rng gen = ctx.make_rng();
+  const graph::digraph topo = make_topology(topo_name, n, gen);
+  const dist::zipf_transaction_distribution zipf(
+      ctx.get_double("zipf_s", 1.0));
+  const dist::demand_model demand(topo, zipf,
+                                  static_cast<double>(topo.node_count()));
+  // Heterogeneous deposits around `balance`, shared by both arms. Uniform
+  // 50/50 deposits would make the experiment degenerate: every watermark
+  // rebalance then re-depletes its donor channels to exactly the mirror
+  // image of the original deficit, which triggers an exactly-inverse
+  // rebalance later in the same sweep — each sweep is a net no-op and the
+  // two arms never diverge (see sim/rebalancing.h).
+  std::vector<std::pair<double, double>> deposits;
+  deposits.reserve(topo.edge_slots() / 2);
+  for (graph::edge_id e = 0; e < topo.edge_slots(); e += 2) {
+    // Sequenced draws: argument evaluation order is unspecified, and a
+    // compiler-dependent a/b swap would break cross-machine byte-identity.
+    const double deposit_a = balance * (0.4 + 1.2 * gen.uniform01());
+    const double deposit_b = balance * (0.4 + 1.2 * gen.uniform01());
+    deposits.emplace_back(deposit_a, deposit_b);
+  }
+  const std::uint64_t workload_seed = gen();
+
+  const sim::sim_metrics none =
+      simulate_with_policy(topo, demand, deposits, horizon, rebalance_period,
+                           workload_seed, nullptr);
+  const sim::sim_metrics rebal =
+      simulate_with_policy(topo, demand, deposits, horizon, rebalance_period,
+                           workload_seed, &policy);
+
+  result_row row;
+  row.set("attempted", static_cast<long long>(none.attempted))
+      .set("success_none", none.success_rate())
+      .set("success_rebal", rebal.success_rate())
+      .set("success_delta", rebal.success_rate() - none.success_rate())
+      .set("delivered_none", none.volume_delivered)
+      .set("delivered_rebal", rebal.volume_delivered)
+      .set("throughput_delta",
+           horizon > 0.0
+               ? (rebal.volume_delivered - none.volume_delivered) / horizon
+               : 0.0)
+      .set("triggered", static_cast<long long>(rebal.rebalances_triggered))
+      .set("rebalanced", static_cast<long long>(rebal.rebalances_succeeded))
+      .set("cycle_success_rate",
+           rebal.rebalances_triggered
+               ? static_cast<double>(rebal.rebalances_succeeded) /
+                     static_cast<double>(rebal.rebalances_triggered)
+               : 0.0)
+      .set("rebalance_volume", rebal.rebalance_volume);
+  return {row};
+}
+
+// --- sim/estimation_convergence: N_u / p_trans recovery vs horizon --------
+
+/// The shared setup of the estimation scenarios: a host, the ground-truth
+/// Zipf demand on it, and an estimate fitted to a simulated transaction log
+/// of the given horizon.
+struct estimation_instance {
+  graph::digraph topo;
+  std::unique_ptr<dist::demand_model> truth;
+  sim::demand_estimate estimate;
+};
+
+estimation_instance make_estimation_instance(const scenario_context& ctx) {
+  estimation_instance inst;
+  const std::string topo_name = ctx.get_string("topology", "ba");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 16));
+  const double horizon = ctx.get_double("horizon", 100.0);
+  const double alpha = ctx.get_double("alpha", 0.0);
+  rng gen = ctx.make_rng();
+  inst.topo = make_topology(topo_name, n, gen);
+  // demand_model materialises the rows; the distribution can stay local.
+  const dist::zipf_transaction_distribution zipf(
+      ctx.get_double("zipf_s", 1.0));
+  inst.truth = std::make_unique<dist::demand_model>(
+      inst.topo, zipf, static_cast<double>(inst.topo.node_count()));
+  const dist::fixed_tx_size sizes(1.0);
+  sim::workload_generator wl(*inst.truth, sizes, gen());
+  const std::vector<sim::tx_event> log = wl.generate(horizon);
+  inst.estimate =
+      alpha > 0.0 ? sim::estimate_demand_smoothed(
+                        log, inst.topo.node_count(), horizon, alpha)
+                  : sim::estimate_demand(log, inst.topo.node_count(), horizon);
+  return inst;
+}
+
+std::vector<result_row> run_estimation_convergence(
+    const scenario_context& ctx) {
+  const estimation_instance inst = make_estimation_instance(ctx);
+  const sim::estimation_error err =
+      sim::compare_to_truth(inst.estimate, *inst.truth);
+  result_row row;
+  row.set("observations", static_cast<long long>(inst.estimate.observations))
+      .set("total_rate_hat", inst.estimate.total_rate)
+      .set("total_rate_true", inst.truth->total_rate())
+      .set("max_rate_abs_error", err.max_rate_abs_error)
+      .set("mean_rate_abs_error", err.mean_rate_abs_error)
+      .set("max_row_tv_distance", err.max_row_tv_distance)
+      .set("mean_row_tv_distance", err.mean_row_tv_distance);
+  return {row};
+}
+
+// --- sim/estimation_downstream: estimated demand through E_rev ------------
+
+std::vector<result_row> run_estimation_downstream(
+    const scenario_context& ctx) {
+  const estimation_instance inst = make_estimation_instance(ctx);
+  const dist::demand_model estimated =
+      sim::to_demand_model(inst.estimate, inst.topo);
+
+  // Through-rates (the node-betweenness side of E_rev) under the true and
+  // the estimated demand, all nodes in one sweep each.
+  const graph::betweenness_result true_bt =
+      graph::weighted_betweenness(inst.topo, inst.truth->weight_fn());
+  const graph::betweenness_result est_bt =
+      graph::weighted_betweenness(inst.topo, estimated.weight_fn());
+
+  const graph::node_id hub = graph::max_degree_node(inst.topo);
+  double max_abs = 0.0, sum_abs = 0.0;
+  for (std::size_t v = 0; v < true_bt.node.size(); ++v) {
+    const double abs_err = std::abs(est_bt.node[v] - true_bt.node[v]);
+    max_abs = std::max(max_abs, abs_err);
+    sum_abs += abs_err;
+  }
+  result_row row;
+  row.set("observations", static_cast<long long>(inst.estimate.observations))
+      .set("hub", static_cast<long long>(hub))
+      .set("hub_rate_true", true_bt.node[hub])
+      .set("hub_rate_est", est_bt.node[hub])
+      .set("hub_rel_err",
+           true_bt.node[hub] > 0.0
+               ? std::abs(est_bt.node[hub] - true_bt.node[hub]) /
+                     true_bt.node[hub]
+               : 0.0)
+      .set("max_node_abs_err", max_abs)
+      .set("mean_node_abs_err",
+           sum_abs / static_cast<double>(true_bt.node.size()));
+  return {row};
+}
+
+// --- topo/best_response: Section IV-B dynamics toward equilibria ----------
+
+/// Structural class of a channel topology, for comparing dynamics outcomes
+/// against the shapes Section IV analyses (star, path, circle, complete).
+std::string classify_topology(const graph::digraph& g) {
+  const std::size_t n = g.node_count();
+  const std::size_t channels = g.edge_count() / 2;
+  if (channels == 0) return "empty";
+  if (n >= 2 && channels == n * (n - 1) / 2) return "complete";
+  std::vector<std::size_t> degree(n, 0);
+  for (const topology::channel_pair& ch : topology::channel_pairs(g)) {
+    ++degree[ch.a];
+    ++degree[ch.b];
+  }
+  std::size_t ones = 0, twos = 0, hubs = 0;
+  for (const std::size_t d : degree) {
+    if (d == 1) ++ones;
+    if (d == 2) ++twos;
+    if (d == n - 1) ++hubs;
+  }
+  const bool connected = graph::is_strongly_connected(g);
+  if (n >= 3 && hubs == 1 && ones == n - 1) return "star";
+  if (connected && channels == n - 1 && ones == 2 && twos == n - 2)
+    return "path";
+  if (connected && channels == n && twos == n) return "circle";
+  return "other";
+}
+
+std::vector<result_row> run_best_response(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "path");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 6));
+  topology::game_params p;
+  p.a = ctx.get_double("a", 1.0);
+  p.b = ctx.get_double("b", 1.0);
+  p.l = ctx.get_double("l", 0.5);
+  p.s = ctx.get_double("s", 1.0);
+  topology::dynamics_options options;
+  options.max_rounds =
+      static_cast<std::size_t>(ctx.get_int("max_rounds", 16));
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+  const topology::dynamics_result dyn =
+      topology::best_response_dynamics(start, p, options);
+
+  double total_gain = 0.0;
+  std::string trace;
+  for (std::size_t i = 0; i < dyn.applied.size(); ++i) {
+    total_gain += dyn.applied[i].gain();
+    if (i < 12) {
+      if (!trace.empty()) trace += '|';
+      trace += render_double(dyn.applied[i].gain());
+    } else if (i == 12) {
+      trace += "|...";
+    }
+  }
+  const std::string shape = classify_topology(dyn.final_graph);
+  const char* outcome =
+      dyn.outcome == topology::dynamics_outcome::converged ? "converged"
+      : dyn.outcome == topology::dynamics_outcome::cycled  ? "cycled"
+                                                           : "round_cap";
+  result_row row;
+  row.set("outcome", std::string(outcome))
+      .set("rounds", static_cast<long long>(dyn.rounds))
+      .set("moves", static_cast<long long>(dyn.applied.size()))
+      .set("total_gain", total_gain)
+      .set("trace", trace.empty() ? std::string("(none)") : trace)
+      .set("channels_start", static_cast<long long>(start.edge_count() / 2))
+      .set("channels_final",
+           static_cast<long long>(dyn.final_graph.edge_count() / 2))
+      .set("final_shape", shape)
+      // A converged run is a Nash certificate: the final full pass found no
+      // improving unilateral deviation for any player.
+      .set("ne_certified",
+           static_cast<long long>(
+               dyn.outcome == topology::dynamics_outcome::converged ? 1 : 0))
+      .set("is_star", static_cast<long long>(shape == "star" ? 1 : 0));
+  return {row};
+}
+
+// --- scale/sampled_betweenness: Brandes–Pich error at 10^4 nodes ----------
+
+std::vector<result_row> run_sampled_betweenness(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ba");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 2000));
+  // Exact reference is O(n * (n + m)); above this threshold only the
+  // sampled estimate runs and the error columns report -1 ("not measured").
+  const auto exact_threshold =
+      static_cast<std::size_t>(ctx.get_int("exact_threshold", 4000));
+
+  rng gen = ctx.make_rng();
+  const graph::digraph g = make_topology(topo_name, n, gen);
+  const graph::pair_weight_fn unit = [](graph::node_id,
+                                        graph::node_id) { return 1.0; };
+  graph::betweenness_options options = betweenness_options_from(ctx);
+  const std::size_t sources =
+      options.backend == graph::betweenness_backend::sampled &&
+              options.sample_pivots > 0
+          ? std::min(options.sample_pivots, g.node_count())
+          : g.node_count();
+  const graph::betweenness_result estimate =
+      graph::weighted_betweenness(g, unit, options);
+
+  double max_rel = -1.0, mean_rel = -1.0;
+  const bool exact_feasible = n <= exact_threshold;
+  if (exact_feasible) {
+    graph::betweenness_options exact_options;
+    exact_options.backend = graph::betweenness_backend::parallel;
+    exact_options.threads = ctx.threads();
+    const graph::betweenness_result exact =
+        graph::weighted_betweenness(g, unit, exact_options);
+    double rel_sum = 0.0;
+    std::size_t counted = 0;
+    max_rel = 0.0;
+    for (std::size_t v = 0; v < exact.node.size(); ++v) {
+      if (exact.node[v] <= 1e-9) continue;
+      const double rel =
+          std::abs(estimate.node[v] - exact.node[v]) / exact.node[v];
+      max_rel = std::max(max_rel, rel);
+      rel_sum += rel;
+      ++counted;
+    }
+    mean_rel = counted ? rel_sum / static_cast<double>(counted) : 0.0;
+  }
+
+  double sum_score = 0.0, top_score = 0.0;
+  for (const double s : estimate.node) {
+    sum_score += s;
+    top_score = std::max(top_score, s);
+  }
+  result_row row;
+  row.set("nodes", static_cast<long long>(g.node_count()))
+      .set("channels", static_cast<long long>(g.edge_count() / 2))
+      .set("sources_swept", static_cast<long long>(sources))
+      .set("exact_feasible", static_cast<long long>(exact_feasible ? 1 : 0))
+      .set("max_rel_err", max_rel)
+      .set("mean_rel_err", mean_rel)
+      .set("top_node_share", sum_score > 0.0 ? top_score / sum_score : 0.0);
+  return {row};
+}
+
+// --- scale/host_properties: 10^4-node host structure via sampling ---------
+
+std::vector<result_row> run_host_properties(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ba");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 10000));
+  rng gen = ctx.make_rng();
+  const graph::digraph g = make_topology(topo_name, n, gen);
+
+  std::size_t max_degree = 0;
+  std::vector<std::size_t> degree(g.node_count(), 0);
+  for (const topology::channel_pair& ch : topology::channel_pairs(g)) {
+    ++degree[ch.a];
+    ++degree[ch.b];
+  }
+  for (const std::size_t d : degree) max_degree = std::max(max_degree, d);
+  const graph::node_id hub = graph::max_degree_node(g);
+
+  // Betweenness concentration through the sampled backend — the whole point
+  // of Brandes–Pich at this size; an exact sweep would be ~n/pivots slower.
+  graph::betweenness_options options = betweenness_options_from(ctx);
+  options.backend = graph::betweenness_backend::sampled;
+  if (options.sample_pivots == 0) options.sample_pivots = 64;
+  const graph::pair_weight_fn unit = [](graph::node_id,
+                                        graph::node_id) { return 1.0; };
+  const graph::betweenness_result bt =
+      graph::weighted_betweenness(g, unit, options);
+  double sum_score = 0.0, top_score = 0.0;
+  for (const double s : bt.node) {
+    sum_score += s;
+    top_score = std::max(top_score, s);
+  }
+  result_row row;
+  row.set("nodes", static_cast<long long>(g.node_count()))
+      .set("channels", static_cast<long long>(g.edge_count() / 2))
+      .set("max_degree", static_cast<long long>(max_degree))
+      .set("mean_degree",
+           static_cast<double>(g.edge_count()) /
+               static_cast<double>(g.node_count()))
+      .set("hub", static_cast<long long>(hub))
+      .set("hub_ecc", static_cast<long long>(graph::eccentricity(g, hub)))
+      .set("hub_bt_share", sum_score > 0.0 ? bt.node[hub] / sum_score : 0.0)
+      .set("top_bt_share", sum_score > 0.0 ? top_score / sum_score : 0.0);
+  return {row};
+}
+
 std::vector<value> ints(std::initializer_list<long long> xs) {
   std::vector<value> out;
   for (const long long x : xs) out.emplace_back(x);
@@ -444,6 +814,61 @@ std::size_t register_builtin_scenarios() {
            "1",
            {"edges", "total_edge_rate", "max_edge_rate",
             "unroutable_rate"}});
+    r.add({"sim/rebalance_policy",
+           "circular rebalancing ([30]): watermark policy vs no rebalancing",
+           {{"topology", strings({"cycle", "grid"})},
+            {"low_watermark", doubles({0.1, 0.3})},
+            {"max_cycle_len", ints({4, 12})}},
+           run_rebalance_policy,
+           "1",
+           {"attempted", "success_none", "success_rebal", "success_delta",
+            "delivered_none", "delivered_rebal", "throughput_delta",
+            "triggered", "rebalanced", "cycle_success_rate",
+            "rebalance_volume"}});
+    r.add({"sim/estimation_convergence",
+           "N_u / p_trans(u,.) recovery from a transaction log vs horizon",
+           {{"horizon", doubles({25.0, 100.0, 400.0})},
+            {"alpha", doubles({0.0, 0.5})}},
+           run_estimation_convergence,
+           "1",
+           {"observations", "total_rate_hat", "total_rate_true",
+            "max_rate_abs_error", "mean_rate_abs_error",
+            "max_row_tv_distance", "mean_row_tv_distance"}});
+    r.add({"sim/estimation_downstream",
+           "estimated demand plugged into E_rev through-rates vs truth",
+           {{"horizon", doubles({50.0, 200.0, 800.0})},
+            {"alpha", doubles({0.5})}},
+           run_estimation_downstream,
+           "1",
+           {"observations", "hub", "hub_rate_true", "hub_rate_est",
+            "hub_rel_err", "max_node_abs_err", "mean_node_abs_err"}});
+    r.add({"topo/best_response",
+           "Section IV-B best-response dynamics toward equilibrium shapes",
+           {{"topology", strings({"star", "path", "cycle", "er"})},
+            {"l", doubles({0.3, 1.5})}},
+           run_best_response,
+           "1",
+           {"outcome", "rounds", "moves", "total_gain", "trace",
+            "channels_start", "channels_final", "final_shape",
+            "ne_certified", "is_star"}});
+    r.add({"scale/sampled_betweenness",
+           "Brandes–Pich pivot error vs exact on 10^3..10^4-node hosts",
+           {{"n", ints({2000, 10000})},
+            {"backend", strings({"sampled"})},
+            {"pivots", ints({64, 256})}},
+           run_sampled_betweenness,
+           "1",
+           {"nodes", "channels", "sources_swept", "exact_feasible",
+            "max_rel_err", "mean_rel_err", "top_node_share"}});
+    r.add({"scale/host_properties",
+           "10^4-node host structure: degrees, hub reach, sampled centrality",
+           {{"topology", strings({"ba", "ws", "grid"})},
+            {"n", ints({10000})},
+            {"pivots", ints({64})}},
+           run_host_properties,
+           "1",
+           {"nodes", "channels", "max_degree", "mean_degree", "hub",
+            "hub_ecc", "hub_bt_share", "top_bt_share"}});
     return true;
   }();
   (void)registered;

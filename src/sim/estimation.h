@@ -8,7 +8,25 @@
 // per-edge rates lambda_e — and all three are estimable from a transaction
 // log. This module provides the estimators plus error metrics against a
 // known ground-truth demand model, so convergence with observation horizon
-// can be measured (tests + the sim_vs_analytic bench).
+// can be measured (tests + the sim/estimation_* scenarios).
+//
+// Paper-notation map:
+//   * `demand_estimate::sender_rate[u]`  = N_u-hat, the estimated Poisson
+//     rate of sender u (Section II-B): transactions observed from u divided
+//     by the observation horizon.
+//   * `demand_estimate::receiver_p[u]`   = p_trans(u, .)-hat, the estimated
+//     receiver row of u: count_{u->v} / count_u (rows of unseen senders
+//     fall back to the uniform zero-information prior; the smoothed variant
+//     adds `alpha` Laplace pseudo-counts per admissible receiver).
+//   * `demand_estimate::total_rate`      = N-hat = sum_u N_u-hat, the
+//     paper's total transaction rate.
+//   * `estimation_error` measures recovery of exactly those quantities:
+//     absolute error on the N_u and total-variation distance per
+//     p_trans(u, .) row — the two inputs Eq. (2) and E_rev consume.
+//   * `to_demand_model` closes the loop: the estimate becomes a
+//     dist::demand_model, so the analytic machinery (pcn/rates.h,
+//     core/utility.h) can run on estimated instead of assumed demand
+//     (the sim/estimation_downstream scenario quantifies the E_rev gap).
 
 #ifndef LCG_SIM_ESTIMATION_H
 #define LCG_SIM_ESTIMATION_H

@@ -11,6 +11,27 @@
 // depleted channel, closed by its (v, u) edge) and applies them, plus a
 // watermark policy the simulator can run periodically. Rebalancing is
 // modelled as fee-free, per the cooperative setting of [30].
+//
+// Paper-notation map:
+//   * A channel's two balances are the per-end coins of Section II-A
+//     (Figure 1); `capacity` of the directed edge (u, v) is u's current
+//     balance, exactly what a payment of size x needs >= x per hop.
+//   * `rebalancing_policy::low_watermark` / `target` are fractions of the
+//     channel's TOTAL capacity (balance_a + balance_b): a side triggers
+//     when its balance < low_watermark * capacity and the cycle payment
+//     tops it up to target * capacity. The paper never fixes numeric
+//     watermarks; Section IV only argues such cycles exist for existing
+//     users, so the sweep exposes them as parameters.
+//   * `max_cycle_len` bounds the hop count of the circular route including
+//     the closing (v, u) edge — the "short cycle" feasibility of [30]
+//     (a cycle through the whole network moves everyone's liquidity).
+//
+// Degeneracy worth knowing (pinned by sim/rebalance_policy's deposit
+// scheme): with every channel at the same 50/50 capacity, a watermark
+// sweep is a net no-op — each successful rebalance re-depletes its donor
+// channels to exactly the mirror image of the original deficit, which
+// triggers an exactly-inverse rebalance later in the same sweep. Real
+// (heterogeneous) capacities break the symmetry.
 
 #ifndef LCG_SIM_REBALANCING_H
 #define LCG_SIM_REBALANCING_H

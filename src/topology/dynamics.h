@@ -12,6 +12,23 @@
 // Termination: the game has no potential function, so the dynamics may
 // cycle; a round cap plus a seen-state set (graph fingerprints) detects
 // cycles and reports them instead of spinning.
+//
+// Paper-notation map:
+//   * One "round" is a full pass over all players in node-id order; within
+//     it each player u applies its best unilateral deviation under the
+//     Section IV utility U_u = E_rev_u - E_fees_u - cost_u
+//     (topology/game.h) — the best-response step of Section IV-B.
+//   * `dynamics_outcome::converged` is a Nash certificate: the final pass
+//     found no improving deviation for any player within the enumeration
+//     caps, i.e. the terminal graph satisfies Definition 1's stability.
+//   * `dynamics_result::applied` is the improvement trace: each entry's
+//     gain() is U_u(after) - U_u(before) > 0 for the mover, the quantity
+//     the NP-hardness argument (Theorem 2 of [19]) says is hard to chase
+//     on large graphs — which is why the scenario sweeps small n.
+//   * Under concentrated Zipf demand (large effective l relative to the
+//     revenue term) the analysis predicts star-like terminal graphs
+//     (Theorems 7-9); the topo/best_response scenario classifies the
+//     terminal shape to check exactly that.
 
 #ifndef LCG_TOPOLOGY_DYNAMICS_H
 #define LCG_TOPOLOGY_DYNAMICS_H
