@@ -1,0 +1,217 @@
+// Arena performance: best-response dynamics at populations the exhaustive
+// topo/best_response reference cannot touch (n >> 8).
+//
+// Measures wall time, rounds-to-termination and utility-evaluation counts
+// of the arena engine (src/arena/) across population sizes and oracles, and
+// emits a machine-readable record to BENCH_arena.json so the performance
+// trajectory is tracked across PRs (the same contract as
+// BENCH_betweenness.json):
+//
+//   [{"n":..., "channels_start":..., "topology":"ws", "oracle":"greedy",
+//     "order":"round_robin", "pivots":16, "rounds":..., "moves":...,
+//     "evaluations":..., "converged":1, "final_shape":"other",
+//     "wall_ms":..., "evals_per_ms":...}, ...]
+//
+// Like bench_betweenness this binary needs no google-benchmark and is built
+// unconditionally; CI runs --smoke and checks the JSON is well-formed.
+//
+//   bench_arena [--smoke] [--json PATH] [--sizes n1,n2,...] [--repeat R]
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arena/engine.h"
+#include "runner/fixtures.h"
+#include "topology/dynamics.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lcg;
+
+struct bench_record {
+  std::size_t n = 0;
+  std::size_t channels_start = 0;
+  std::string topology;
+  std::string oracle;
+  std::string order;
+  std::size_t pivots = 0;
+  std::size_t rounds = 0;
+  std::size_t moves = 0;
+  std::uint64_t evaluations = 0;
+  bool converged = false;
+  std::string final_shape;
+  double wall_ms = 0.0;
+};
+
+struct bench_config {
+  std::vector<std::size_t> sizes{60, 120, 240};
+  std::size_t repeat = 1;
+  std::string json_path = "BENCH_arena.json";
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), v);
+    if (ec != std::errc() || ptr != item.data() + item.size() || v == 0) {
+      std::cerr << "bench_arena: bad list entry '" << item << "'\n";
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    std::cerr << "bench_arena: empty list '" << text << "'\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<bench_record>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench_arena: cannot open '" << path << "'\n";
+    std::exit(1);
+  }
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bench_record& r = records[i];
+    const double evals_per_ms =
+        r.wall_ms > 0.0 ? static_cast<double>(r.evaluations) / r.wall_ms : 0.0;
+    os << "  {\"n\": " << r.n << ", \"channels_start\": " << r.channels_start
+       << ", \"topology\": \"" << r.topology << "\", \"oracle\": \""
+       << r.oracle << "\", \"order\": \"" << r.order
+       << "\", \"pivots\": " << r.pivots << ", \"rounds\": " << r.rounds
+       << ", \"moves\": " << r.moves << ", \"evaluations\": " << r.evaluations
+       << ", \"converged\": " << (r.converged ? 1 : 0)
+       << ", \"final_shape\": \"" << r.final_shape << "\""
+       << ", \"host_hw_threads\": " << hardware
+       << ", \"wall_ms\": " << r.wall_ms
+       << ", \"evals_per_ms\": " << evals_per_ms << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+int run(const bench_config& config) {
+  std::vector<bench_record> records;
+  table t({"n", "channels", "oracle", "order", "pivots", "rounds", "moves",
+           "evaluations", "converged", "shape", "wall ms"});
+
+  topology::game_params params;
+  params.l = 1.5;
+
+  for (const std::size_t n : config.sizes) {
+    rng gen(n);
+    const graph::digraph start = runner::make_topology("ws", n, gen);
+
+    for (const arena::oracle_kind oracle :
+         {arena::oracle_kind::greedy, arena::oracle_kind::local}) {
+      arena::arena_options options;
+      options.oracle = oracle;
+      options.order = arena::activation_order::round_robin;
+      options.seed = 42;
+      options.max_rounds = 24;
+      options.oracle_opts.candidate_k = 3;
+      options.oracle_opts.candidate_random = 0;
+      options.oracle_opts.max_channels = 3;
+      options.provider.exact_threshold = 96;
+      options.provider.pivots = 16;
+      options.provider.seed = 42;
+
+      arena::arena_result result;
+      double best_ms = 0.0;
+      for (std::size_t r = 0; r < config.repeat; ++r) {
+        stopwatch sw;
+        result = arena::run_arena(start, params, options);
+        const double ms = sw.elapsed_ms();
+        if (r == 0 || ms < best_ms) best_ms = ms;
+      }
+
+      bench_record rec;
+      rec.n = n;
+      rec.channels_start = start.edge_count() / 2;
+      rec.topology = "ws";
+      rec.oracle = std::string(arena::oracle_name(oracle));
+      rec.order = std::string(arena::order_name(options.order));
+      rec.pivots = options.provider.pivots;
+      rec.rounds = result.rounds;
+      rec.moves = result.moves.size();
+      rec.evaluations = result.evaluations;
+      rec.converged =
+          result.outcome == topology::dynamics_outcome::converged;
+      rec.final_shape = topology::classify_topology(result.state.graph());
+      rec.wall_ms = best_ms;
+      records.push_back(rec);
+      t.add_row({static_cast<long long>(n),
+                 static_cast<long long>(rec.channels_start), rec.oracle,
+                 rec.order, static_cast<long long>(rec.pivots),
+                 static_cast<long long>(rec.rounds),
+                 static_cast<long long>(rec.moves),
+                 static_cast<long long>(rec.evaluations),
+                 static_cast<long long>(rec.converged ? 1 : 0),
+                 rec.final_shape, rec.wall_ms});
+    }
+  }
+
+  std::cout << "Arena best-response dynamics at n >> 8 (ws hosts, l=1.5; "
+            << "exact provider <= 96 nodes, 16-pivot sampled above)\n";
+  t.print(std::cout);
+  write_json(config.json_path, records);
+  std::cout << records.size() << " record(s) -> " << config.json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_arena: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      // CI smoke mode: small populations, both oracles, quick.
+      config.sizes = {24, 60};
+    } else if (arg == "--json") {
+      config.json_path = need_value("--json");
+    } else if (arg == "--sizes") {
+      config.sizes = parse_size_list(need_value("--sizes"));
+    } else if (arg == "--repeat") {
+      const std::string text = need_value("--repeat");
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), config.repeat);
+      if (ec != std::errc() || ptr != text.data() + text.size() ||
+          config.repeat == 0) {
+        std::cerr << "bench_arena: bad --repeat '" << text << "'\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_arena [--smoke] [--json PATH] "
+                   "[--sizes n1,n2,...] [--repeat R]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_arena: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  return run(config);
+}

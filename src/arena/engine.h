@@ -1,0 +1,90 @@
+// The large-population channel-creation arena.
+//
+// Section IV-B's best-response dynamics, re-engineered for N in the
+// hundreds: explicit per-player strategies (arena/state.h), restricted
+// best-response oracles instead of exhaustive family enumeration
+// (arena/oracles.h), and per-round utilities through the pluggable
+// betweenness provider (arena/provider.h — exact parallel below a node
+// threshold, Brandes–Pich sampled above it). With the brute oracle the
+// arena degenerates to topology::best_response_dynamics exactly (same
+// graph evolution, tie-breaking, cycle detection and outcome), which is
+// how small-n correctness is pinned.
+//
+// Determinism: every random draw comes from a splitmix64-derived stream —
+// one PRIVATE stream per player (exploration candidates) plus one for the
+// activation schedule — so a (start, params, options) triple fully
+// determines the run regardless of thread budget (the provider's parallel
+// backend is bit-identical to serial). Activation order is a parameter:
+//
+//   * round_robin  — players move in node-id order, applied immediately
+//     (the Section IV-B convention, topology/dynamics.h).
+//   * random       — a fresh uniform permutation per round from the
+//     schedule stream, applied immediately.
+//   * simultaneous — all players propose against the same snapshot; the
+//     proposals are applied in (gain desc, id asc) order, skipping any
+//     that became structurally invalid (its removed channel already gone,
+//     or its added channel already created). Gains are proposal-time.
+//
+// Termination mirrors topology/dynamics.h: convergence (a full round with
+// no improving proposal — under the brute oracle this is a Nash
+// certificate; under greedy/local it certifies only oracle-stability),
+// cycle detection via topology fingerprints, or the round cap.
+
+#ifndef LCG_ARENA_ENGINE_H
+#define LCG_ARENA_ENGINE_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "arena/oracles.h"
+#include "arena/provider.h"
+#include "arena/state.h"
+#include "topology/dynamics.h"
+
+namespace lcg::arena {
+
+enum class activation_order { round_robin, random, simultaneous };
+
+/// Parses "round_robin" / "random" / "simultaneous"; throws
+/// precondition_error otherwise (scenario and CLI parameter surface).
+[[nodiscard]] activation_order order_from_name(std::string_view name);
+[[nodiscard]] std::string_view order_name(activation_order order);
+
+struct arena_options {
+  oracle_kind oracle = oracle_kind::greedy;
+  oracle_options oracle_opts;
+  provider_options provider;
+  activation_order order = activation_order::round_robin;
+  std::size_t max_rounds = 32;
+  /// Base of the per-player and schedule splitmix64 streams (and, by
+  /// convention, of provider.seed — the caller derives both from one job
+  /// seed).
+  std::uint64_t seed = 0;
+};
+
+struct arena_move {
+  std::size_t round = 0;  // 0-based round the move was applied in
+  topology::deviation dev;
+};
+
+struct arena_result {
+  strategy_state state;  ///< terminal strategies + shared network
+  topology::dynamics_outcome outcome = topology::dynamics_outcome::round_cap;
+  std::size_t rounds = 0;
+  std::vector<arena_move> moves;     // applied, in order
+  std::size_t proposals = 0;         // improving deviations proposed
+  double total_gain = 0.0;           // sum of applied proposal gains
+  std::uint64_t evaluations = 0;     // provider utility evaluations
+};
+
+/// Runs the arena from `start` until convergence, a cycle, or the round
+/// cap. `start` must be a channel-paired simple graph (one channel per
+/// node pair).
+[[nodiscard]] arena_result run_arena(const graph::digraph& start,
+                                     const topology::game_params& params,
+                                     const arena_options& options);
+
+}  // namespace lcg::arena
+
+#endif  // LCG_ARENA_ENGINE_H

@@ -1,0 +1,243 @@
+#include "arena/oracles.h"
+
+#include <algorithm>
+
+#include "core/greedy.h"
+#include "util/enumeration.h"
+#include "util/error.h"
+
+namespace lcg::arena {
+
+oracle_kind oracle_from_name(std::string_view name) {
+  if (name == "greedy") return oracle_kind::greedy;
+  if (name == "local") return oracle_kind::local;
+  if (name == "brute") return oracle_kind::brute;
+  throw precondition_error("unknown arena oracle '" + std::string(name) +
+                           "' (expected greedy|local|brute)");
+}
+
+std::string_view oracle_name(oracle_kind kind) {
+  switch (kind) {
+    case oracle_kind::greedy: return "greedy";
+    case oracle_kind::local: return "local";
+    case oracle_kind::brute: return "brute";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Candidate peers for NEW channels of `u`: the top-`candidate_k` eligible
+/// nodes by (score desc, id asc), then exactly `candidate_random` draws
+/// from the player's private stream (duplicates dropped, draw count fixed
+/// so the stream advances identically every activation).
+std::vector<graph::node_id> add_candidates(const strategy_state& state,
+                                           graph::node_id u,
+                                           const oracle_options& options,
+                                           const std::vector<double>& scores,
+                                           rng& stream) {
+  const graph::digraph& g = state.graph();
+  std::vector<graph::node_id> eligible;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (v != u && !state.connected(u, v)) eligible.push_back(v);
+  }
+  std::vector<graph::node_id> picked;
+  if (options.candidate_k > 0 && !eligible.empty()) {
+    std::vector<graph::node_id> by_score = eligible;
+    std::stable_sort(by_score.begin(), by_score.end(),
+                     [&scores](graph::node_id a, graph::node_id b) {
+                       return scores[a] > scores[b];
+                     });
+    const std::size_t take = std::min(options.candidate_k, by_score.size());
+    picked.assign(by_score.begin(),
+                  by_score.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  for (std::size_t j = 0; j < options.candidate_random && !eligible.empty();
+       ++j) {
+    const graph::node_id v = eligible[static_cast<std::size_t>(
+        stream.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+    if (std::find(picked.begin(), picked.end(), v) == picked.end())
+      picked.push_back(v);
+  }
+  return picked;
+}
+
+/// Scratch graph where `u`'s own channels and all candidate additions
+/// exist as DEACTIVATED edge pairs: evaluating a candidate own-set is two
+/// O(|set|) toggles around a provider call instead of a graph copy.
+class own_set_toggler {
+ public:
+  own_set_toggler(const graph::digraph& g, graph::node_id u,
+                  const std::vector<graph::node_id>& own,
+                  const std::vector<graph::node_id>& adds)
+      : work_(g), u_(u) {
+    for (const graph::node_id peer : own) {
+      const graph::edge_id forward = work_.find_edge(u, peer);
+      const graph::edge_id reverse = work_.find_edge(peer, u);
+      LCG_EXPECTS(forward != graph::invalid_edge &&
+                  reverse != graph::invalid_edge);
+      work_.remove_edge(forward);
+      work_.remove_edge(reverse);
+      peers_.push_back(peer);
+      pairs_.emplace_back(forward, reverse);
+    }
+    for (const graph::node_id peer : adds) {
+      const graph::edge_id forward = work_.add_bidirectional(u, peer);
+      work_.remove_edge(forward);
+      work_.remove_edge(forward + 1);
+      peers_.push_back(peer);
+      pairs_.emplace_back(forward, forward + 1);
+    }
+  }
+
+  /// Utility of `u` with exactly the channels to `set` active.
+  double evaluate(const utility_provider& provider,
+                  const std::vector<graph::node_id>& set) {
+    toggle(set, /*on=*/true);
+    const double value = provider.evaluate(work_, u_).total;
+    toggle(set, /*on=*/false);
+    return value;
+  }
+
+ private:
+  void toggle(const std::vector<graph::node_id>& set, bool on) {
+    for (const graph::node_id peer : set) {
+      const auto it = std::find(peers_.begin(), peers_.end(), peer);
+      LCG_EXPECTS(it != peers_.end());
+      const auto& [forward, reverse] =
+          pairs_[static_cast<std::size_t>(it - peers_.begin())];
+      if (on) {
+        work_.restore_edge(forward);
+        work_.restore_edge(reverse);
+      } else {
+        work_.remove_edge(forward);
+        work_.remove_edge(reverse);
+      }
+    }
+  }
+
+  graph::digraph work_;
+  graph::node_id u_;
+  std::vector<graph::node_id> peers_;
+  std::vector<std::pair<graph::edge_id, graph::edge_id>> pairs_;
+};
+
+/// removed = own \ chosen, added = chosen \ own (all inputs sorted).
+topology::deviation diff_deviation(graph::node_id u,
+                                   const std::vector<graph::node_id>& own,
+                                   const std::vector<graph::node_id>& chosen,
+                                   double before, double after) {
+  topology::deviation dev;
+  dev.deviator = u;
+  std::set_difference(own.begin(), own.end(), chosen.begin(), chosen.end(),
+                      std::back_inserter(dev.removed_peers));
+  std::set_difference(chosen.begin(), chosen.end(), own.begin(), own.end(),
+                      std::back_inserter(dev.added_peers));
+  dev.utility_before = before;
+  dev.utility_after = after;
+  return dev;
+}
+
+std::optional<topology::deviation> greedy_propose(
+    const strategy_state& state, graph::node_id u,
+    const utility_provider& provider, const oracle_options& options,
+    const std::vector<double>& scores, rng& stream) {
+  const std::vector<graph::node_id>& own = state.owned(u);
+  const std::vector<graph::node_id> adds =
+      add_candidates(state, u, options, scores, stream);
+
+  std::vector<graph::node_id> candidates = own;
+  candidates.insert(candidates.end(), adds.begin(), adds.end());
+  const double base = provider.evaluate(state.graph(), u).total;
+  if (candidates.empty()) return std::nullopt;
+
+  own_set_toggler toggler(state.graph(), u, own, adds);
+  const core::objective_fn objective = [&](const core::strategy& s) {
+    std::vector<graph::node_id> set;
+    set.reserve(s.size());
+    for (const core::action& a : s) set.push_back(a.peer);
+    return toggler.evaluate(provider, set);
+  };
+  const core::greedy_result rebuilt = core::greedy_fixed_lock(
+      objective, candidates, /*lock=*/0.0, options.max_channels);
+  // Owning no channels at all is a legal strategy (u may stay connected
+  // through counterparties' channels); the greedy engine only reports
+  // non-empty prefixes, so compare against the empty set explicitly.
+  const double empty_value = toggler.evaluate(provider, {});
+
+  std::vector<graph::node_id> chosen;
+  double value = empty_value;
+  if (rebuilt.objective_value > empty_value) {
+    for (const core::action& a : rebuilt.chosen) chosen.push_back(a.peer);
+    std::sort(chosen.begin(), chosen.end());
+    value = rebuilt.objective_value;
+  }
+  if (!(value > base + options.tolerance)) return std::nullopt;
+  topology::deviation dev = diff_deviation(u, own, chosen, base, value);
+  if (dev.removed_peers.empty() && dev.added_peers.empty())
+    return std::nullopt;
+  return dev;
+}
+
+std::optional<topology::deviation> local_propose(
+    const strategy_state& state, graph::node_id u,
+    const utility_provider& provider, const oracle_options& options,
+    const std::vector<double>& scores, rng& stream) {
+  const std::vector<graph::node_id>& own = state.owned(u);
+  const std::vector<graph::node_id> adds =
+      add_candidates(state, u, options, scores, stream);
+  const double base = provider.evaluate(state.graph(), u).total;
+  own_set_toggler toggler(state.graph(), u, own, adds);
+
+  std::optional<topology::deviation> best;
+  const std::size_t remove_cap = std::min(options.max_removed, own.size());
+  const std::size_t add_cap = std::min(options.max_added, adds.size());
+  for (std::size_t nr = 0; nr <= remove_cap; ++nr) {
+    for_each_subset_of_size(
+        own.size(), nr, [&](const std::vector<std::size_t>& rm) {
+          std::vector<graph::node_id> kept = own;
+          for (std::size_t i = rm.size(); i-- > 0;) {
+            kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(rm[i]));
+          }
+          for (std::size_t na = nr == 0 ? 1 : 0; na <= add_cap; ++na) {
+            for_each_subset_of_size(
+                adds.size(), na, [&](const std::vector<std::size_t>& ad) {
+                  std::vector<graph::node_id> chosen = kept;
+                  for (const std::size_t i : ad) chosen.push_back(adds[i]);
+                  std::sort(chosen.begin(), chosen.end());
+                  const double value = toggler.evaluate(provider, chosen);
+                  if (value > base + options.tolerance &&
+                      (!best || value - base > best->gain())) {
+                    best = diff_deviation(u, own, chosen, base, value);
+                  }
+                  return true;
+                });
+          }
+          return true;
+        });
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<topology::deviation> propose_move(
+    oracle_kind kind, const strategy_state& state, graph::node_id u,
+    const utility_provider& provider, const oracle_options& options,
+    const std::vector<double>& scores, rng& stream) {
+  switch (kind) {
+    case oracle_kind::greedy:
+      return greedy_propose(state, u, provider, options, scores, stream);
+    case oracle_kind::local:
+      return local_propose(state, u, provider, options, scores, stream);
+    case oracle_kind::brute:
+      // The exhaustive reference: exact utilities (topology/game.h), no
+      // provider involvement, identical tie-breaking to topo/best_response.
+      return topology::best_deviation(state.graph(), u, provider.params(),
+                                      topology::deviation_limits{},
+                                      options.tolerance);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lcg::arena

@@ -1,0 +1,111 @@
+#include "arena/provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dist/zipf.h"
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lcg::arena {
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Lazily materialised p_trans rows: the sampled backend only ever asks for
+/// its pivot sources (plus the evaluated node's own row for E_fees), so
+/// computing rows on demand keeps an evaluation at O(k * n log n) instead
+/// of the O(n^2 log n) full matrix.
+class lazy_rows {
+ public:
+  lazy_rows(const graph::digraph& g, double s, dist::rank_basis basis)
+      : g_(g), s_(s), basis_(basis), rows_(g.node_count()),
+        ready_(g.node_count(), 0) {}
+
+  const std::vector<double>& row(graph::node_id u) const {
+    if (!ready_[u]) {
+      rows_[u] = dist::transaction_probabilities(g_, u, s_, basis_);
+      ready_[u] = 1;
+    }
+    return rows_[u];
+  }
+
+ private:
+  const graph::digraph& g_;
+  double s_;
+  dist::rank_basis basis_;
+  mutable std::vector<std::vector<double>> rows_;
+  mutable std::vector<char> ready_;
+};
+
+/// E_fees of `u` given its p_trans row and BFS distances — the same
+/// intermediary counting as topology/game.cpp (a direct channel costs no
+/// fees; any positive-probability unreachable receiver makes fees +inf).
+double fees_of(const std::vector<double>& p_row,
+               const std::vector<std::int32_t>& dist, graph::node_id u,
+               double a) {
+  double total = 0.0;
+  for (graph::node_id v = 0; v < p_row.size(); ++v) {
+    if (v == u || p_row[v] <= 0.0) continue;
+    if (dist[v] == graph::unreachable) return inf;
+    total += static_cast<double>(std::max<std::int32_t>(dist[v] - 1, 0)) *
+             p_row[v];
+  }
+  return a * total;
+}
+
+}  // namespace
+
+utility_provider::utility_provider(topology::game_params params,
+                                   provider_options options)
+    : params_(params), options_(options) {
+  params_.validate();
+  LCG_EXPECTS(options_.pivots > 0);
+}
+
+graph::betweenness_options utility_provider::backend_for(
+    std::size_t n) const {
+  graph::betweenness_options backend;
+  backend.threads = options_.threads;
+  if (n <= options_.exact_threshold) {
+    backend.backend = graph::betweenness_backend::parallel;
+  } else {
+    backend.backend = graph::betweenness_backend::sampled;
+    backend.sample_pivots = options_.pivots;
+    backend.rng_seed = options_.seed;
+  }
+  return backend;
+}
+
+topology::utility_breakdown utility_provider::evaluate(
+    const graph::digraph& g, graph::node_id u) const {
+  LCG_EXPECTS(g.has_node(u));
+  ++evaluations_;
+  const lazy_rows rows(g, params_.s, params_.basis);
+  topology::utility_breakdown out;
+  out.revenue =
+      params_.b *
+      graph::node_betweenness_of(
+          g, u,
+          [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
+          backend_for(g.node_count()));
+  out.fees = fees_of(rows.row(u), graph::bfs_distances(g, u), u, params_.a);
+  out.cost =
+      params_.l * params_.cost_share * static_cast<double>(g.out_degree(u));
+  out.total = std::isinf(out.fees) ? -inf : out.revenue - out.fees - out.cost;
+  return out;
+}
+
+std::vector<double> utility_provider::node_scores(
+    const graph::digraph& g) const {
+  const lazy_rows rows(g, params_.s, params_.basis);
+  const graph::betweenness_result bw = graph::weighted_betweenness(
+      g,
+      [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
+      backend_for(g.node_count()));
+  return bw.node;
+}
+
+}  // namespace lcg::arena

@@ -1,0 +1,84 @@
+// The arena's pluggable utility provider.
+//
+// Every best-response evaluation bottoms out in the Section IV utility
+// U_u = E_rev_u - E_fees_u - cost_u (topology/game.h). At population scale
+// the dominant term is E_rev_u — a weighted node-betweenness sweep — so the
+// provider routes it through graph/betweenness.h's multi-backend engine:
+//
+//   * n <= exact_threshold  -> the exact PARALLEL backend (bit-identical to
+//     serial for any thread budget, so runner byte-identity holds), and
+//   * n >  exact_threshold  -> the Brandes–Pich SAMPLED estimator with a
+//     fixed pivot-stream seed (Brandes & Pich 2007: k pivots, (n-1)/k
+//     rescale keeps the estimate unbiased), which turns each evaluation
+//     from O(n(n+m)) into O(k(n+m)).
+//
+// p_trans rows are materialised lazily per evaluation: the sampled backend
+// touches only its pivot sources, so at 10^3+ nodes the O(n^2) probability
+// matrix of topology::node_utility never needs to exist. With the exact
+// backend the provider is BIT-IDENTICAL to topology::node_utility for the
+// keep_sender_edges ranking basis (tests pin this); the sampled backend
+// trades exactness for scale, deterministically under the fixed seed.
+
+#ifndef LCG_ARENA_PROVIDER_H
+#define LCG_ARENA_PROVIDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/betweenness.h"
+#include "topology/game.h"
+
+namespace lcg::arena {
+
+struct provider_options {
+  /// Largest node count still served by the exact parallel backend.
+  std::size_t exact_threshold = 192;
+  /// Pivot count of the sampled backend above the threshold.
+  std::size_t pivots = 32;
+  /// Worker threads for the exact parallel / sampled backends (never
+  /// changes results; forwarded from scenario_context::threads()).
+  std::size_t threads = 1;
+  /// Seed of the sampled backend's pivot stream (splitmix64-expanded).
+  std::uint64_t seed = 0;
+};
+
+class utility_provider {
+ public:
+  utility_provider(topology::game_params params, provider_options options);
+
+  [[nodiscard]] const topology::game_params& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const provider_options& options() const noexcept {
+    return options_;
+  }
+
+  /// Backend the provider would use for an n-node graph (threshold switch).
+  [[nodiscard]] graph::betweenness_options backend_for(std::size_t n) const;
+  [[nodiscard]] bool sampled_at(std::size_t n) const {
+    return n > options_.exact_threshold;
+  }
+
+  /// U_u on `g` under the provider's backend rules. Exact-backend results
+  /// match topology::node_utility bit for bit (keep_sender_edges basis).
+  [[nodiscard]] topology::utility_breakdown evaluate(const graph::digraph& g,
+                                                     graph::node_id u) const;
+
+  /// Demand-weighted node betweenness of every node (one sweep, same
+  /// backend rules) — the candidate-ranking signal of the move oracles.
+  [[nodiscard]] std::vector<double> node_scores(const graph::digraph& g) const;
+
+  /// Utility evaluations consumed so far (the arena's cost ledger).
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+
+ private:
+  topology::game_params params_;
+  provider_options options_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace lcg::arena
+
+#endif  // LCG_ARENA_PROVIDER_H

@@ -1,0 +1,72 @@
+#include "arena/state.h"
+
+#include <algorithm>
+
+#include "topology/game.h"
+#include "util/error.h"
+
+namespace lcg::arena {
+
+strategy_state::strategy_state(const graph::digraph& start)
+    : owned_(start.node_count()), graph_(start) {
+  // Keep `start` verbatim (edge ids and adjacency order included) so the
+  // brute oracle sees exactly the graph topology::best_response_dynamics
+  // would — equal-gain tie-breaks depend on enumeration order. Only the
+  // ownership annotation is derived here.
+  for (const topology::channel_pair& ch : topology::channel_pairs(start)) {
+    const graph::node_id owner = std::min(ch.a, ch.b);
+    const graph::node_id peer = std::max(ch.a, ch.b);
+    auto& set = owned_[owner];
+    LCG_EXPECTS(std::find(set.begin(), set.end(), peer) == set.end());
+    set.insert(std::upper_bound(set.begin(), set.end(), peer), peer);
+  }
+}
+
+graph::digraph strategy_state::rebuild() const {
+  graph::digraph g(owned_.size());
+  for (graph::node_id u = 0; u < owned_.size(); ++u) {
+    for (const graph::node_id peer : owned_[u]) g.add_bidirectional(u, peer);
+  }
+  return g;
+}
+
+bool strategy_state::connected(graph::node_id u, graph::node_id v) const {
+  return graph_.find_edge(u, v) != graph::invalid_edge;
+}
+
+void strategy_state::apply(const topology::deviation& dev) {
+  for (const graph::node_id peer : dev.removed_peers)
+    remove_channel(dev.deviator, peer);
+  for (const graph::node_id peer : dev.added_peers)
+    add_channel(dev.deviator, peer);
+}
+
+void strategy_state::remove_channel(graph::node_id a, graph::node_id b) {
+  const graph::edge_id forward = graph_.find_edge(a, b);
+  const graph::edge_id reverse = graph_.find_edge(b, a);
+  LCG_EXPECTS(forward != graph::invalid_edge &&
+              reverse != graph::invalid_edge);
+  graph_.remove_edge(forward);
+  graph_.remove_edge(reverse);
+  // Whichever endpoint owns the channel forgets it.
+  for (const graph::node_id owner : {a, b}) {
+    const graph::node_id peer = owner == a ? b : a;
+    auto& set = owned_[owner];
+    const auto it = std::find(set.begin(), set.end(), peer);
+    if (it != set.end()) {
+      set.erase(it);
+      return;
+    }
+  }
+  LCG_ENSURES(false);  // channel existed in the graph but nobody owned it
+}
+
+void strategy_state::add_channel(graph::node_id owner, graph::node_id peer) {
+  LCG_EXPECTS(owner != peer);
+  LCG_EXPECTS(!connected(owner, peer));
+  graph_.add_bidirectional(owner, peer);
+  auto& set = owned_[owner];
+  set.insert(std::upper_bound(set.begin(), set.end(), peer), peer);
+}
+
+}  // namespace lcg::arena

@@ -1,0 +1,82 @@
+// Explicit per-player channel strategies on a shared network.
+//
+// In Section IV every node of the PCN is a player whose strategy is the set
+// of channels it creates. topo/best_response keeps that set implicit (the
+// graph IS the state); the arena makes it explicit so that restricted move
+// oracles can rebuild a player's OWN channel set without disturbing the
+// channels its counterparties created, and so terminal statistics can talk
+// about ownership (who carries the star's spokes).
+//
+// Conventions:
+//   * A channel between u and v exists at most once (start topologies are
+//     simple and deviations never duplicate a live channel), is owned by
+//     exactly one endpoint, and materialises as the bidirectional edge pair
+//     the rest of the library expects (topology/game.h).
+//   * Seeding from a plain digraph assigns each channel to its lower-id
+//     endpoint — a deterministic convention; utilities never depend on
+//     ownership (both endpoints pay `l * cost_share` per incident channel,
+//     game.h), only the restricted oracles do.
+//   * Applying a deviation transfers ownership of every ADDED channel to
+//     the deviator and deletes REMOVED channels from whichever endpoint
+//     owned them (the brute oracle, like topology/nash.h, may drop any
+//     incident channel).
+
+#ifndef LCG_ARENA_STATE_H
+#define LCG_ARENA_STATE_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "topology/nash.h"
+
+namespace lcg::arena {
+
+class strategy_state {
+ public:
+  strategy_state() = default;
+
+  /// Seeds ownership from `start`: every channel pair goes to its lower-id
+  /// endpoint. Requires a channel-paired graph (see topology::channel_pairs)
+  /// with at most one channel per unordered node pair.
+  explicit strategy_state(const graph::digraph& start);
+
+  [[nodiscard]] std::size_t player_count() const noexcept {
+    return owned_.size();
+  }
+
+  /// Peers of the channels player `u` owns, sorted ascending.
+  [[nodiscard]] const std::vector<graph::node_id>& owned(
+      graph::node_id u) const {
+    return owned_[u];
+  }
+
+  /// The shared network: all players' owned channels as bidirectional edge
+  /// pairs (owner as the forward src). Kept incrementally in sync by
+  /// apply(); rebuild() recreates it from scratch (tests pin equality).
+  [[nodiscard]] const graph::digraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] graph::digraph rebuild() const;
+
+  /// Whether a channel (either orientation, any owner) joins u and v.
+  [[nodiscard]] bool connected(graph::node_id u, graph::node_id v) const;
+
+  /// Applies `dev`: removes each (deviator, peer) channel from its owner's
+  /// set, adds each new channel to the deviator's. Precondition: removed
+  /// channels exist, added ones don't.
+  void apply(const topology::deviation& dev);
+
+  /// Total channels currently owned across all players.
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return graph_.edge_count() / 2;
+  }
+
+ private:
+  void remove_channel(graph::node_id a, graph::node_id b);
+  void add_channel(graph::node_id owner, graph::node_id peer);
+
+  std::vector<std::vector<graph::node_id>> owned_;
+  graph::digraph graph_;
+};
+
+}  // namespace lcg::arena
+
+#endif  // LCG_ARENA_STATE_H

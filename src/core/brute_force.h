@@ -9,15 +9,12 @@
 #ifndef LCG_CORE_BRUTE_FORCE_H
 #define LCG_CORE_BRUTE_FORCE_H
 
-#include <functional>
 #include <span>
 
 #include "core/params.h"
 #include "core/strategy.h"
 
 namespace lcg::core {
-
-using objective_fn = std::function<double(const strategy&)>;
 
 struct brute_force_result {
   strategy best;

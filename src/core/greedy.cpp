@@ -26,11 +26,13 @@ greedy_result finalize(greedy_result result) {
   return result;
 }
 
-greedy_result plain_greedy(const estimated_objective& objective,
+/// The literal Algorithm 1 loop over an arbitrary set objective; the
+/// estimated-objective overloads wrap their surrogate into an objective_fn
+/// (one simplified() call per evaluation, so the counters agree).
+greedy_result plain_greedy(const objective_fn& objective,
                            std::span<const graph::node_id> candidates,
                            std::span<const double> locks) {
   greedy_result result;
-  const std::uint64_t evals_before = objective.evaluations();
   strategy current;
   std::vector<char> used(candidates.size(), 0);
   double current_value = neg_inf;
@@ -41,7 +43,8 @@ greedy_result plain_greedy(const estimated_objective& objective,
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (used[i]) continue;
       current.push_back(action{candidates[i], lock});
-      const double value = objective.simplified(current);
+      const double value = objective(current);
+      ++result.evaluations;
       current.pop_back();
       if (value > best_value) {
         best_value = value;
@@ -57,8 +60,11 @@ greedy_result plain_greedy(const estimated_objective& objective,
     result.prefixes.push_back(current);
     result.prefix_values.push_back(current_value);
   }
-  result.evaluations = objective.evaluations() - evals_before;
   return finalize(std::move(result));
+}
+
+objective_fn simplified_of(const estimated_objective& objective) {
+  return [&objective](const strategy& s) { return objective.simplified(s); };
 }
 
 greedy_result celf_greedy(const estimated_objective& objective,
@@ -142,10 +148,25 @@ greedy_result greedy_fixed_lock(const estimated_objective& objective,
   const std::size_t steps = std::min(max_channels, candidates.size());
   if (use_celf) return celf_greedy(objective, candidates, lock, steps);
   const std::vector<double> locks(steps, lock);
-  return plain_greedy(objective, candidates, locks);
+  return plain_greedy(simplified_of(objective), candidates, locks);
 }
 
 greedy_result greedy_with_step_locks(const estimated_objective& objective,
+                                     std::span<const graph::node_id> candidates,
+                                     std::span<const double> locks) {
+  return plain_greedy(simplified_of(objective), candidates, locks);
+}
+
+greedy_result greedy_fixed_lock(const objective_fn& objective,
+                                std::span<const graph::node_id> candidates,
+                                double lock, std::size_t max_channels) {
+  LCG_EXPECTS(lock >= 0.0);
+  const std::size_t steps = std::min(max_channels, candidates.size());
+  const std::vector<double> locks(steps, lock);
+  return plain_greedy(objective, candidates, locks);
+}
+
+greedy_result greedy_with_step_locks(const objective_fn& objective,
                                      std::span<const graph::node_id> candidates,
                                      std::span<const double> locks) {
   return plain_greedy(objective, candidates, locks);

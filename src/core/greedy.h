@@ -45,6 +45,22 @@ struct greedy_result {
     std::span<const graph::node_id> candidates,
     std::span<const double> locks);
 
+/// Algorithm 1's literal greedy engine over an ARBITRARY set objective.
+/// Submodularity is not assumed, so CELF lazy evaluation never applies:
+/// every remaining candidate is re-evaluated each step, exactly as the
+/// paper writes the algorithm. `evaluations` counts objective calls. The
+/// arena's greedy best-response oracle (src/arena/oracles.h) rebuilds a
+/// player's channel strategy through these entry points with the Section IV
+/// utility as the objective.
+[[nodiscard]] greedy_result greedy_fixed_lock(
+    const objective_fn& objective, std::span<const graph::node_id> candidates,
+    double lock, std::size_t max_channels);
+
+/// Generic engine with a prescribed lock per step.
+[[nodiscard]] greedy_result greedy_with_step_locks(
+    const objective_fn& objective, std::span<const graph::node_id> candidates,
+    std::span<const double> locks);
+
 }  // namespace lcg::core
 
 #endif  // LCG_CORE_GREEDY_H

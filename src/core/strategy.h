@@ -7,6 +7,7 @@
 #ifndef LCG_CORE_STRATEGY_H
 #define LCG_CORE_STRATEGY_H
 
+#include <functional>
 #include <vector>
 
 #include "core/params.h"
@@ -22,6 +23,11 @@ struct action {
 };
 
 using strategy = std::vector<action>;
+
+/// An arbitrary set objective over strategies. The brute-force reference
+/// optimiser and the generic greedy engine both maximise one of these; the
+/// arena's best-response oracles plug the Section IV utility in through it.
+using objective_fn = std::function<double(const strategy&)>;
 
 /// Total channel cost sum_{(v,l) in S} L_u(v, l) = sum (C + r*l).
 inline double strategy_cost(const model_params& params, const strategy& s) {

@@ -99,6 +99,14 @@ class network {
   /// Directed topology; edge capacities always equal current balances.
   const graph::digraph& topology() const noexcept { return g_; }
 
+  /// Channel a directed edge belongs to (every topology edge is one side
+  /// of a channel). Donor-aware rebalancing uses this to find the hop's
+  /// own capacity watermark (sim/rebalancing.h).
+  channel_id channel_of(graph::edge_id e) const {
+    LCG_EXPECTS(e < edge_owner_.size());
+    return edge_owner_[e];
+  }
+
   /// Executes a payment: shortest feasible path (every hop's balance >=
   /// amount), balance shifts along it, fee ledger updated with F(amount)
   /// per intermediary. Null fee => no fees charged.

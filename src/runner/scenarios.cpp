@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "arena/engine.h"
 #include "core/brute_force.h"
 #include "core/continuous.h"
 #include "core/discrete_search.h"
@@ -28,6 +29,7 @@
 #include "topology/nash.h"
 #include "topology/path_circle.h"
 #include "topology/star.h"
+#include "topology/welfare.h"
 #include "util/format.h"
 
 namespace lcg::runner {
@@ -384,6 +386,7 @@ std::vector<result_row> run_rebalance_policy(const scenario_context& ctx) {
   policy.target = ctx.get_double("target", 0.5);
   policy.max_cycle_len =
       static_cast<std::size_t>(ctx.get_int("max_cycle_len", 8));
+  policy.donor_aware = ctx.get_int("donor_aware", 0) != 0;
 
   rng gen = ctx.make_rng();
   const graph::digraph topo = make_topology(topo_name, n, gen);
@@ -527,30 +530,10 @@ std::vector<result_row> run_estimation_downstream(
 
 // --- topo/best_response: Section IV-B dynamics toward equilibria ----------
 
-/// Structural class of a channel topology, for comparing dynamics outcomes
-/// against the shapes Section IV analyses (star, path, circle, complete).
-std::string classify_topology(const graph::digraph& g) {
-  const std::size_t n = g.node_count();
-  const std::size_t channels = g.edge_count() / 2;
-  if (channels == 0) return "empty";
-  if (n >= 2 && channels == n * (n - 1) / 2) return "complete";
-  std::vector<std::size_t> degree(n, 0);
-  for (const topology::channel_pair& ch : topology::channel_pairs(g)) {
-    ++degree[ch.a];
-    ++degree[ch.b];
-  }
-  std::size_t ones = 0, twos = 0, hubs = 0;
-  for (const std::size_t d : degree) {
-    if (d == 1) ++ones;
-    if (d == 2) ++twos;
-    if (d == n - 1) ++hubs;
-  }
-  const bool connected = graph::is_strongly_connected(g);
-  if (n >= 3 && hubs == 1 && ones == n - 1) return "star";
-  if (connected && channels == n - 1 && ones == 2 && twos == n - 2)
-    return "path";
-  if (connected && channels == n && twos == n) return "circle";
-  return "other";
+const char* outcome_name(topology::dynamics_outcome outcome) {
+  return outcome == topology::dynamics_outcome::converged ? "converged"
+         : outcome == topology::dynamics_outcome::cycled  ? "cycled"
+                                                          : "round_cap";
 }
 
 std::vector<result_row> run_best_response(const scenario_context& ctx) {
@@ -564,6 +547,22 @@ std::vector<result_row> run_best_response(const scenario_context& ctx) {
   topology::dynamics_options options;
   options.max_rounds =
       static_cast<std::size_t>(ctx.get_int("max_rounds", 16));
+  // The deviation_limits surface (ROADMAP "dynamics beyond n=8"): negative
+  // = unlimited (the exhaustive default). Restricting the family sizes
+  // makes larger n affordable, but a convergence under restricted limits
+  // certifies only restricted stability — ne_certified reports 0 then.
+  const long long max_removed = ctx.get_int("max_removed", -1);
+  const long long max_added = ctx.get_int("max_added", -1);
+  const long long max_deviations = ctx.get_int("max_deviations", -1);
+  if (max_removed >= 0)
+    options.limits.max_removed = static_cast<std::size_t>(max_removed);
+  if (max_added >= 0)
+    options.limits.max_added = static_cast<std::size_t>(max_added);
+  if (max_deviations >= 0)
+    options.limits.max_deviations_per_node =
+        static_cast<std::uint64_t>(max_deviations);
+  const bool restricted =
+      max_removed >= 0 || max_added >= 0 || max_deviations >= 0;
 
   rng gen = ctx.make_rng();
   const graph::digraph start = make_topology(topo_name, n, gen);
@@ -581,13 +580,9 @@ std::vector<result_row> run_best_response(const scenario_context& ctx) {
       trace += "|...";
     }
   }
-  const std::string shape = classify_topology(dyn.final_graph);
-  const char* outcome =
-      dyn.outcome == topology::dynamics_outcome::converged ? "converged"
-      : dyn.outcome == topology::dynamics_outcome::cycled  ? "cycled"
-                                                           : "round_cap";
+  const std::string shape = topology::classify_topology(dyn.final_graph);
   result_row row;
-  row.set("outcome", std::string(outcome))
+  row.set("outcome", std::string(outcome_name(dyn.outcome)))
       .set("rounds", static_cast<long long>(dyn.rounds))
       .set("moves", static_cast<long long>(dyn.applied.size()))
       .set("total_gain", total_gain)
@@ -596,12 +591,173 @@ std::vector<result_row> run_best_response(const scenario_context& ctx) {
       .set("channels_final",
            static_cast<long long>(dyn.final_graph.edge_count() / 2))
       .set("final_shape", shape)
-      // A converged run is a Nash certificate: the final full pass found no
-      // improving unilateral deviation for any player.
+      .set("restricted", static_cast<long long>(restricted ? 1 : 0))
+      // A converged UNRESTRICTED run is a Nash certificate: the final full
+      // pass enumerated every unilateral deviation and found no improvement.
+      // Under restricted limits convergence only suggests stability
+      // (topology/nash.h), so ne_certified stays 0.
       .set("ne_certified",
            static_cast<long long>(
-               dyn.outcome == topology::dynamics_outcome::converged ? 1 : 0))
+               dyn.outcome == topology::dynamics_outcome::converged &&
+                       !restricted
+                   ? 1
+                   : 0))
       .set("is_star", static_cast<long long>(shape == "star" ? 1 : 0));
+  return {row};
+}
+
+// --- arena/*: the large-population channel-creation arena -----------------
+
+topology::game_params game_params_from(const scenario_context& ctx) {
+  topology::game_params p;
+  p.a = ctx.get_double("a", 1.0);
+  p.b = ctx.get_double("b", 1.0);
+  p.l = ctx.get_double("l", 1.5);
+  p.s = ctx.get_double("s", 1.0);
+  return p;
+}
+
+/// The arena's engine knobs from the common grid parameters. The provider
+/// switches to the Brandes–Pich sampled backend above `exact_threshold`
+/// nodes with `pivots` pivot sources; both rng streams (pivots, player
+/// exploration) are fixed splitmix64 derivations of the job seed, so runs
+/// stay pure functions of (params, seed) for any --jobs / thread budget.
+arena::arena_options arena_options_from(const scenario_context& ctx,
+                                        long long default_threshold) {
+  arena::arena_options options;
+  options.oracle = arena::oracle_from_name(ctx.get_string("oracle", "greedy"));
+  options.order =
+      arena::order_from_name(ctx.get_string("order", "round_robin"));
+  options.max_rounds =
+      static_cast<std::size_t>(ctx.get_int("max_rounds", 24));
+  options.oracle_opts.candidate_k =
+      static_cast<std::size_t>(ctx.get_int("candidate_k", 4));
+  options.oracle_opts.candidate_random =
+      static_cast<std::size_t>(ctx.get_int("candidate_random", 2));
+  options.oracle_opts.max_channels =
+      static_cast<std::size_t>(ctx.get_int("max_channels", 6));
+  options.oracle_opts.max_removed =
+      static_cast<std::size_t>(ctx.get_int("max_removed", 1));
+  options.oracle_opts.max_added =
+      static_cast<std::size_t>(ctx.get_int("max_added", 2));
+  options.provider.exact_threshold = static_cast<std::size_t>(
+      ctx.get_int("exact_threshold", default_threshold));
+  options.provider.pivots = static_cast<std::size_t>(
+      std::max(1LL, ctx.get_int("pivots", 32)));
+  options.provider.threads = ctx.threads();
+  options.provider.seed = ctx.seed() ^ 0x7c63f8d1905bb7a3ULL;
+  options.seed = ctx.seed() ^ 0x243f6a8885a308d3ULL;
+  return options;
+}
+
+std::size_t max_channel_degree(const graph::digraph& g) {
+  std::vector<std::size_t> degree(g.node_count(), 0);
+  for (const topology::channel_pair& ch : topology::channel_pairs(g)) {
+    ++degree[ch.a];
+    ++degree[ch.b];
+  }
+  std::size_t max_degree = 0;
+  for (const std::size_t d : degree) max_degree = std::max(max_degree, d);
+  return max_degree;
+}
+
+std::vector<result_row> run_arena_best_response(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 24));
+  const topology::game_params p = game_params_from(ctx);
+  const arena::arena_options options = arena_options_from(ctx, 96);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+  const arena::arena_result res = arena::run_arena(start, p, options);
+
+  const graph::digraph& final_graph = res.state.graph();
+  const std::string shape = topology::classify_topology(final_graph);
+  const double welfare = topology::social_welfare(final_graph, p).total;
+  const topology::reference_welfare ref =
+      topology::canonical_reference_welfare(n, p);
+  result_row row;
+  row.set("outcome", std::string(outcome_name(res.outcome)))
+      .set("rounds", static_cast<long long>(res.rounds))
+      .set("moves", static_cast<long long>(res.moves.size()))
+      .set("proposals", static_cast<long long>(res.proposals))
+      .set("total_gain", res.total_gain)
+      .set("evaluations", static_cast<long long>(res.evaluations))
+      .set("channels_start", static_cast<long long>(start.edge_count() / 2))
+      .set("channels_final",
+           static_cast<long long>(final_graph.edge_count() / 2))
+      .set("final_shape", shape)
+      .set("max_degree", static_cast<long long>(max_channel_degree(final_graph)))
+      .set("welfare", welfare)
+      .set("welfare_star", ref.star)
+      .set("welfare_best_ref", ref.best)
+      .set("best_ref", ref.best_name);
+  return {row};
+}
+
+std::vector<result_row> run_arena_oracle_duel(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "path");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 6));
+  const topology::game_params p = game_params_from(ctx);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+
+  std::vector<result_row> rows;
+  const auto duel = [&](arena::oracle_kind kind) {
+    arena::arena_options options = arena_options_from(ctx, 96);
+    options.oracle = kind;
+    const arena::arena_result res = arena::run_arena(start, p, options);
+    const graph::digraph& final_graph = res.state.graph();
+    result_row row;
+    row.set("oracle", std::string(arena::oracle_name(kind)))
+        .set("outcome", std::string(outcome_name(res.outcome)))
+        .set("rounds", static_cast<long long>(res.rounds))
+        .set("moves", static_cast<long long>(res.moves.size()))
+        .set("evaluations", static_cast<long long>(res.evaluations))
+        .set("channels_final",
+             static_cast<long long>(final_graph.edge_count() / 2))
+        .set("final_shape", topology::classify_topology(final_graph))
+        .set("welfare", topology::social_welfare(final_graph, p).total);
+    rows.push_back(std::move(row));
+  };
+  duel(arena::oracle_kind::greedy);
+  duel(arena::oracle_kind::local);
+  // The exhaustive reference only fits tiny populations (2^(n-1) deviated
+  // graphs per player); evaluations stay 0 for it — exact utilities bypass
+  // the provider.
+  if (n <= 8) duel(arena::oracle_kind::brute);
+  return rows;
+}
+
+std::vector<result_row> run_arena_scale_profile(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 150));
+  const topology::game_params p = game_params_from(ctx);
+  // Threshold 0: always the sampled provider — this family profiles the
+  // Brandes–Pich regime (the whole point of the arena at n >> 8).
+  const arena::arena_options options = arena_options_from(ctx, 0);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+  const arena::arena_result res = arena::run_arena(start, p, options);
+  const graph::digraph& final_graph = res.state.graph();
+
+  result_row row;
+  row.set("nodes", static_cast<long long>(n))
+      .set("outcome", std::string(outcome_name(res.outcome)))
+      .set("rounds", static_cast<long long>(res.rounds))
+      .set("moves", static_cast<long long>(res.moves.size()))
+      .set("evaluations", static_cast<long long>(res.evaluations))
+      .set("evals_per_player",
+           static_cast<double>(res.evaluations) / static_cast<double>(n))
+      .set("channels_start", static_cast<long long>(start.edge_count() / 2))
+      .set("channels_final",
+           static_cast<long long>(final_graph.edge_count() / 2))
+      .set("final_shape", topology::classify_topology(final_graph))
+      .set("max_degree",
+           static_cast<long long>(max_channel_degree(final_graph)))
+      .set("welfare", topology::social_welfare(final_graph, p).total);
   return {row};
 }
 
@@ -674,13 +830,7 @@ std::vector<result_row> run_host_properties(const scenario_context& ctx) {
   rng gen = ctx.make_rng();
   const graph::digraph g = make_topology(topo_name, n, gen);
 
-  std::size_t max_degree = 0;
-  std::vector<std::size_t> degree(g.node_count(), 0);
-  for (const topology::channel_pair& ch : topology::channel_pairs(g)) {
-    ++degree[ch.a];
-    ++degree[ch.b];
-  }
-  for (const std::size_t d : degree) max_degree = std::max(max_degree, d);
+  const std::size_t max_degree = max_channel_degree(g);
   const graph::node_id hub = graph::max_degree_node(g);
 
   // Betweenness concentration through the sampled backend — the whole point
@@ -818,9 +968,10 @@ std::size_t register_builtin_scenarios() {
            "circular rebalancing ([30]): watermark policy vs no rebalancing",
            {{"topology", strings({"cycle", "grid"})},
             {"low_watermark", doubles({0.1, 0.3})},
-            {"max_cycle_len", ints({4, 12})}},
+            {"max_cycle_len", ints({4, 12})},
+            {"donor_aware", ints({0, 1})}},
            run_rebalance_policy,
-           "1",
+           "2",
            {"attempted", "success_none", "success_rebal", "success_delta",
             "delivered_none", "delivered_rebal", "throughput_delta",
             "triggered", "rebalanced", "cycle_success_rate",
@@ -845,12 +996,44 @@ std::size_t register_builtin_scenarios() {
     r.add({"topo/best_response",
            "Section IV-B best-response dynamics toward equilibrium shapes",
            {{"topology", strings({"star", "path", "cycle", "er"})},
-            {"l", doubles({0.3, 1.5})}},
+            {"l", doubles({0.3, 1.5})},
+            {"max_added", ints({-1, 1})}},
            run_best_response,
-           "1",
+           "2",
            {"outcome", "rounds", "moves", "total_gain", "trace",
-            "channels_start", "channels_final", "final_shape",
+            "channels_start", "channels_final", "final_shape", "restricted",
             "ne_certified", "is_star"}});
+    r.add({"arena/best_response",
+           "large-population arena: oracle best response, welfare vs refs",
+           {{"topology", strings({"path", "ws"})},
+            {"n", ints({16, 40})},
+            {"order", strings({"round_robin", "random"})}},
+           run_arena_best_response,
+           "1",
+           {"outcome", "rounds", "moves", "proposals", "total_gain",
+            "evaluations", "channels_start", "channels_final", "final_shape",
+            "max_degree", "welfare", "welfare_star", "welfare_best_ref",
+            "best_ref"}});
+    r.add({"arena/oracle_duel",
+           "greedy vs local (vs brute at n<=8) oracles on one start",
+           {{"topology", strings({"path", "er"})}, {"n", ints({6, 20})}},
+           run_arena_oracle_duel,
+           "1",
+           {"oracle", "outcome", "rounds", "moves", "evaluations",
+            "channels_final", "final_shape", "welfare"}});
+    r.add({"arena/scale_profile",
+           "arena at n >> 8 through the sampled betweenness provider",
+           {{"topology", strings({"ws"})},
+            {"n", ints({120})},
+            {"pivots", ints({16})},
+            {"candidate_k", ints({3})},
+            {"candidate_random", ints({0})},
+            {"max_channels", ints({3})}},
+           run_arena_scale_profile,
+           "1",
+           {"nodes", "outcome", "rounds", "moves", "evaluations",
+            "evals_per_player", "channels_start", "channels_final",
+            "final_shape", "max_degree", "welfare"}});
     r.add({"scale/sampled_betweenness",
            "Brandes–Pich pivot error vs exact on 10^3..10^4-node hosts",
            {{"n", ints({2000, 10000})},

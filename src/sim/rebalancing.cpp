@@ -7,9 +7,24 @@
 
 namespace lcg::sim {
 
+namespace {
+
+/// Donatable slack of a directed edge under `donor_floor` (< 0 = the plain
+/// rule: the full current capacity).
+double edge_slack(const pcn::network& net, graph::edge_id e,
+                  double donor_floor) {
+  const double capacity = net.topology().edge_at(e).capacity;
+  if (donor_floor < 0.0) return capacity;
+  const pcn::channel& ch = net.channel_at(net.channel_of(e));
+  return capacity - donor_floor * ch.total_capacity();
+}
+
+}  // namespace
+
 rebalance_result rebalance_channel(pcn::network& net, pcn::channel_id id,
                                    graph::node_id beneficiary, double amount,
-                                   std::size_t max_cycle_len) {
+                                   std::size_t max_cycle_len,
+                                   double donor_floor) {
   rebalance_result result;
   if (amount <= 0.0) return result;
   const pcn::channel& ch = net.channel_at(id);
@@ -18,48 +33,71 @@ rebalance_result rebalance_channel(pcn::network& net, pcn::channel_id id,
   const graph::node_id counterparty =
       beneficiary == ch.party_a ? ch.party_b : ch.party_a;
   // Return edge: counterparty -> beneficiary over this very channel; the
-  // counterparty's balance must cover the inflow.
+  // counterparty's balance must cover the inflow (down to its own floor
+  // when donor-aware — the counterparty is a donor like any other hop).
   const graph::edge_id return_edge =
       beneficiary == ch.party_a ? ch.edge_ba : ch.edge_ab;
   const graph::digraph& g = net.topology();
-  if (g.edge_at(return_edge).capacity < amount) return result;
+  const double return_slack = edge_slack(net, return_edge, donor_floor);
+  if (return_slack <= 0.0) return result;
+  if (donor_floor < 0.0 && return_slack < amount) return result;
+  double executable = std::min(amount, return_slack);
 
-  // Shortest feasible path beneficiary -> counterparty avoiding both of the
-  // channel's own edges (BFS, bounded depth).
+  // Shortest path beneficiary -> counterparty avoiding both of the
+  // channel's own edges, every hop with donatable slack >= `required`
+  // (plain mode: slack is the raw capacity, required the full amount).
   const graph::edge_id avoid_a = ch.edge_ab;
   const graph::edge_id avoid_b = ch.edge_ba;
   std::vector<graph::edge_id> parent(g.node_count(), graph::invalid_edge);
-  std::vector<std::int32_t> depth(g.node_count(), -1);
-  std::queue<graph::node_id> frontier;
-  depth[beneficiary] = 0;
-  frontier.push(beneficiary);
-  while (!frontier.empty() && depth[counterparty] < 0) {
-    const graph::node_id v = frontier.front();
-    frontier.pop();
-    if (static_cast<std::size_t>(depth[v]) + 1 >= max_cycle_len) continue;
-    g.for_each_out(v, [&](graph::edge_id e, const graph::edge& ed) {
-      if (e == avoid_a || e == avoid_b) return;
-      if (depth[ed.dst] >= 0 || ed.capacity < amount) return;
-      depth[ed.dst] = depth[v] + 1;
-      parent[ed.dst] = e;
-      frontier.push(ed.dst);
-    });
+  const auto find_path = [&](double required) {
+    std::fill(parent.begin(), parent.end(), graph::invalid_edge);
+    std::vector<std::int32_t> depth(g.node_count(), -1);
+    std::queue<graph::node_id> frontier;
+    depth[beneficiary] = 0;
+    frontier.push(beneficiary);
+    while (!frontier.empty() && depth[counterparty] < 0) {
+      const graph::node_id v = frontier.front();
+      frontier.pop();
+      if (static_cast<std::size_t>(depth[v]) + 1 >= max_cycle_len) continue;
+      g.for_each_out(v, [&](graph::edge_id e, const graph::edge& ed) {
+        if (e == avoid_a || e == avoid_b) return;
+        if (depth[ed.dst] >= 0) return;
+        if (edge_slack(net, e, donor_floor) < required) return;
+        depth[ed.dst] = depth[v] + 1;
+        parent[ed.dst] = e;
+        frontier.push(ed.dst);
+      });
+    }
+    return depth[counterparty] >= 0;
+  };
+
+  // Donor-aware mode prefers a (possibly longer) cycle that carries the
+  // FULL amount within every donor's floor; only when none exists does it
+  // fall back to the shortest positive-slack cycle and clamp to its
+  // donatable slack. A shortest trickle cycle must never shadow a
+  // donor-safe full-amount cycle (sim_rebalancing_test pins this).
+  bool found = find_path(executable);
+  if (!found && donor_floor >= 0.0) {
+    constexpr double min_donation = 1e-12;
+    found = find_path(min_donation);
   }
-  if (depth[counterparty] < 0) return result;
+  if (!found) return result;
 
   std::vector<graph::edge_id> route;
   for (graph::node_id v = counterparty; v != beneficiary;
        v = g.edge_at(parent[v]).src) {
     route.push_back(parent[v]);
+    executable = std::min(executable, edge_slack(net, parent[v], donor_floor));
   }
+  if (executable <= 0.0) return result;
   std::reverse(route.begin(), route.end());
   route.push_back(return_edge);
 
   const pcn::payment_result payment =
-      net.execute_route(beneficiary, route, amount);
+      net.execute_route(beneficiary, route, executable);
   if (!payment.ok()) return result;  // raced capacity change; untouched
   result.success = true;
-  result.amount = amount;
+  result.amount = executable;
   result.cycle_length = route.size();
   return result;
 }
@@ -85,8 +123,9 @@ rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
       if (balance >= policy.low_watermark * capacity) continue;
       ++stats.triggered;
       const double want = policy.target * capacity - balance;
-      const rebalance_result r =
-          rebalance_channel(net, id, side, want, policy.max_cycle_len);
+      const rebalance_result r = rebalance_channel(
+          net, id, side, want, policy.max_cycle_len,
+          policy.donor_aware ? policy.low_watermark : -1.0);
       if (r.success) {
         ++stats.succeeded;
         stats.volume += r.amount;

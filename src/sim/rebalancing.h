@@ -53,14 +53,30 @@ struct rebalance_result {
 /// -> beneficiary avoiding the channel's own outgoing edge, every hop with
 /// capacity >= amount. Returns failure (network untouched) if no such cycle
 /// of length <= max_cycle_len exists.
+///
+/// `donor_floor` (fraction of each hop channel's TOTAL capacity, < 0 = off)
+/// makes the cycle donor-aware: a hop may only donate down to its own
+/// `donor_floor * capacity` watermark. The search first looks for the
+/// shortest cycle that carries the FULL amount within every donor's floor
+/// (so a short trickle cycle never shadows a longer donor-safe one); only
+/// when none exists does it fall back to the shortest positive-slack cycle
+/// and CLAMP the shifted amount to that cycle's donatable slack instead of
+/// failing outright. This is the ROADMAP's candidate fix for watermark
+/// sweeps that merely relocate depletion: without the floor, a successful
+/// rebalance drags its donor channels below their own watermark and
+/// triggers the inverse rebalance later in the sweep.
 [[nodiscard]] rebalance_result rebalance_channel(
     pcn::network& net, pcn::channel_id id, graph::node_id beneficiary,
-    double amount, std::size_t max_cycle_len = 8);
+    double amount, std::size_t max_cycle_len = 8, double donor_floor = -1.0);
 
 struct rebalancing_policy {
   double low_watermark = 0.25;  ///< trigger when side < low * capacity
   double target = 0.5;          ///< rebalance toward this fraction
   std::size_t max_cycle_len = 8;
+  /// Donor-aware cap: cycle hops never drop below their own channel's
+  /// `low_watermark` fraction, and `want` is clamped to the donatable
+  /// slack (see rebalance_channel's donor_floor).
+  bool donor_aware = false;
 };
 
 struct rebalancing_sweep_stats {

@@ -2,7 +2,33 @@
 
 #include <set>
 
+#include "graph/properties.h"
+
 namespace lcg::topology {
+
+std::string classify_topology(const graph::digraph& g) {
+  const std::size_t n = g.node_count();
+  const std::size_t channels = g.edge_count() / 2;
+  if (channels == 0) return "empty";
+  if (n >= 2 && channels == n * (n - 1) / 2) return "complete";
+  std::vector<std::size_t> degree(n, 0);
+  for (const channel_pair& ch : channel_pairs(g)) {
+    ++degree[ch.a];
+    ++degree[ch.b];
+  }
+  std::size_t ones = 0, twos = 0, hubs = 0;
+  for (const std::size_t d : degree) {
+    if (d == 1) ++ones;
+    if (d == 2) ++twos;
+    if (d == n - 1) ++hubs;
+  }
+  const bool connected = graph::is_strongly_connected(g);
+  if (n >= 3 && hubs == 1 && ones == n - 1) return "star";
+  if (connected && channels == n - 1 && ones == 2 && twos == n - 2)
+    return "path";
+  if (connected && channels == n && twos == n) return "circle";
+  return "other";
+}
 
 std::uint64_t topology_fingerprint(const graph::digraph& g) {
   // Hash the sorted multiset of active directed edges (FNV-1a over pairs).

@@ -34,6 +34,7 @@
 #define LCG_TOPOLOGY_DYNAMICS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "topology/nash.h"
@@ -68,6 +69,12 @@ struct dynamics_result {
 /// Order-independent fingerprint of a topology's channel set (used for
 /// cycle detection; exposed for tests).
 [[nodiscard]] std::uint64_t topology_fingerprint(const graph::digraph& g);
+
+/// Structural class of a channel topology — "star", "path", "circle",
+/// "complete", "empty" or "other" — for comparing dynamics outcomes against
+/// the shapes Section IV analyses. Shared by the topo/best_response and
+/// arena/* scenarios (terminal-shape statistics).
+[[nodiscard]] std::string classify_topology(const graph::digraph& g);
 
 }  // namespace lcg::topology
 

@@ -47,4 +47,24 @@ std::vector<topology_welfare_row> canonical_topology_comparison(
   return rows;
 }
 
+reference_welfare canonical_reference_welfare(std::size_t n,
+                                              const game_params& params) {
+  LCG_EXPECTS(n >= 3);
+  reference_welfare ref;
+  ref.star = social_welfare(graph::star_graph(n - 1), params).total;
+  ref.path = social_welfare(graph::path_graph(n), params).total;
+  ref.circle = social_welfare(graph::cycle_graph(n), params).total;
+  ref.best = ref.star;
+  ref.best_name = "star";
+  if (ref.path > ref.best) {
+    ref.best = ref.path;
+    ref.best_name = "path";
+  }
+  if (ref.circle > ref.best) {
+    ref.best = ref.circle;
+    ref.best_name = "circle";
+  }
+  return ref;
+}
+
 }  // namespace lcg::topology

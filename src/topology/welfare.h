@@ -44,6 +44,22 @@ struct topology_welfare_row {
 [[nodiscard]] std::vector<topology_welfare_row> canonical_topology_comparison(
     std::size_t n, const game_params& params);
 
+/// The canonical reference welfares WITHOUT the exhaustive Nash check:
+/// each entry costs one all-utilities sweep (O(n * (n + m))), so it stays
+/// usable at the arena's population scale (hundreds of players) where the
+/// deviation enumeration of canonical_topology_comparison is hopeless.
+/// `best` is the argmax-total entry — the price-of-anarchy denominator the
+/// arena scenarios report terminal welfare against.
+struct reference_welfare {
+  double star = 0.0;
+  double path = 0.0;
+  double circle = 0.0;
+  double best = 0.0;
+  std::string best_name;  // "star" | "path" | "circle"
+};
+[[nodiscard]] reference_welfare canonical_reference_welfare(
+    std::size_t n, const game_params& params);
+
 }  // namespace lcg::topology
 
 #endif  // LCG_TOPOLOGY_WELFARE_H

@@ -89,6 +89,110 @@ TEST(Rebalancing, SweepLeavesHealthyChannelsAlone) {
   EXPECT_EQ(stats.triggered, 0u);
 }
 
+TEST(Rebalancing, DonorAwareFloorBlocksCyclesThatWouldBreachDonors) {
+  // Heterogeneous deposits: 0's only donor channel (2,0) holds 4.5/20 —
+  // ABOVE the requested 4.0, so the plain policy happily drains it to 0.5,
+  // i.e. far below its own 0.25 * 20 = 5 watermark (the depletion
+  // relocation the ROADMAP flags). The donor-aware floor refuses: the hop
+  // has no donatable slack at all (4.5 - 5 < 0).
+  const auto make_net = [] {
+    pcn::network net(3);
+    net.open_channel(0, 1, 0.0, 8.0);
+    net.open_channel(1, 2, 10.0, 10.0);
+    net.open_channel(2, 0, 15.5, 4.5);  // node 0's donor side holds 4.5
+    return net;
+  };
+  pcn::network plain = make_net();
+  const rebalance_result r_plain = rebalance_channel(plain, 0, 0, 4.0, 8);
+  ASSERT_TRUE(r_plain.success);
+  EXPECT_DOUBLE_EQ(plain.balance_of(2, 0), 0.5);  // donor breached
+
+  pcn::network aware = make_net();
+  const rebalance_result r_aware =
+      rebalance_channel(aware, 0, 0, 4.0, 8, /*donor_floor=*/0.25);
+  EXPECT_FALSE(r_aware.success);
+  EXPECT_DOUBLE_EQ(aware.balance_of(2, 0), 4.5);  // untouched
+}
+
+TEST(Rebalancing, DonorAwareClampsWantToTheCycleSlack) {
+  // Donor (2,0) holds 7/20: slack above its 5.0 floor is 2.0, so the
+  // donor-aware cycle shifts exactly 2.0 (not the wanted 4.0) and lands
+  // the donor precisely AT its watermark — no new depletion is created.
+  pcn::network net(3);
+  net.open_channel(0, 1, 0.0, 8.0);
+  net.open_channel(1, 2, 10.0, 10.0);
+  net.open_channel(2, 0, 13.0, 7.0);  // node 0's donor side holds 7
+  const rebalance_result r =
+      rebalance_channel(net, 0, 0, 4.0, 8, /*donor_floor=*/0.25);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.amount, 2.0);
+  EXPECT_DOUBLE_EQ(net.balance_of(0, 0), 2.0);   // partially replenished
+  EXPECT_DOUBLE_EQ(net.balance_of(2, 0), 5.0);   // exactly at its floor
+}
+
+TEST(Rebalancing, DonorAwarePrefersFullAmountCycleOverShorterTrickle) {
+  // Two candidate cycles for replenishing (0,1): a SHORT one through 2
+  // whose hop 2->1 has only 1.5 of donatable slack, and a LONGER one
+  // through 3->4 whose every hop can donate the full 4.0 within its floor.
+  // The donor-aware search must not let the short trickle cycle shadow the
+  // donor-safe full-amount cycle.
+  pcn::network net(5);
+  net.open_channel(0, 1, 0.0, 8.0);     // deficit: want 4
+  net.open_channel(0, 2, 10.0, 10.0);   // short cycle hop 0->2: slack 5
+  net.open_channel(2, 1, 6.5, 13.5);    // short cycle hop 2->1: slack 1.5
+  net.open_channel(0, 3, 10.0, 10.0);   // long cycle, all slack 5...
+  net.open_channel(3, 4, 10.0, 10.0);
+  net.open_channel(4, 1, 10.0, 10.0);
+  const rebalance_result r =
+      rebalance_channel(net, 0, 0, 4.0, 8, /*donor_floor=*/0.25);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.amount, 4.0);      // full amount, not the 1.5 trickle
+  EXPECT_EQ(r.cycle_length, 4u);        // 0 -> 3 -> 4 -> 1 -> 0
+  EXPECT_DOUBLE_EQ(net.balance_of(2, 2), 6.5);  // trickle hop untouched
+  EXPECT_DOUBLE_EQ(net.balance_of(0, 0), 4.0);
+}
+
+TEST(Rebalancing, DonorAwareSweepDivergesUnderHeterogeneousDeposits) {
+  // The sweep-level satellite check: identical heterogeneous networks,
+  // identical policy except donor_aware — different outcomes (the aware
+  // arm shifts less volume, and leaves every donor at or above its floor).
+  const auto make_net = [] {
+    pcn::network net(4);
+    net.open_channel(0, 1, 0.5, 9.5);    // deficit side: wants 4.5
+    net.open_channel(1, 2, 12.0, 8.0);
+    net.open_channel(2, 3, 6.0, 14.0);
+    net.open_channel(3, 0, 5.5, 14.5);
+    return net;
+  };
+  rebalancing_policy plain;
+  plain.low_watermark = 0.25;
+  plain.target = 0.5;
+  plain.max_cycle_len = 4;
+  rebalancing_policy aware = plain;
+  aware.donor_aware = true;
+
+  pcn::network net_plain = make_net();
+  const rebalancing_sweep_stats s_plain = rebalancing_sweep(net_plain, plain);
+  pcn::network net_aware = make_net();
+  const rebalancing_sweep_stats s_aware = rebalancing_sweep(net_aware, aware);
+
+  EXPECT_GT(s_plain.volume, 0.0);
+  EXPECT_GT(s_aware.volume, 0.0);
+  EXPECT_NE(s_plain.volume, s_aware.volume);  // the cap changes outcomes
+  // And the aware arm's donors respect their floors: every channel side
+  // that started at/above its watermark is still there after the sweep.
+  pcn::network reference = make_net();
+  for (pcn::channel_id id = 0; id < 4; ++id) {
+    const pcn::channel& ch = reference.channel_at(id);
+    const double floor = 0.25 * ch.total_capacity();
+    for (const graph::node_id side : {ch.party_a, ch.party_b}) {
+      if (reference.balance_of(id, side) < floor) continue;  // the deficit
+      EXPECT_GE(net_aware.balance_of(id, side) + 1e-9, floor)
+          << "channel " << id << " side " << side;
+    }
+  }
+}
+
 TEST(Rebalancing, KeepsCircularTrafficOnDirectChannelsInTheEngine) {
   // Ring of 4 with circular demand (0->1, 1->2, 2->3, 3->0): each channel
   // is used in one direction only and its forward side drains even though
