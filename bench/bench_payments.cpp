@@ -1,0 +1,217 @@
+// Traffic-engine throughput: discrete-event HTLC payments per second.
+//
+// Streams a Poisson workload through traffic::run_traffic (src/traffic/) on
+// Watts–Strogatz hosts and measures end-to-end event-loop throughput —
+// routing on a stale balance view, per-hop locking, retries, settle chains.
+// The default run pushes >= 10^6 payments through a single network, the
+// scale the streaming design exists for, and emits a machine-readable
+// record to BENCH_payments.json so the performance trajectory is tracked
+// across PRs (the same contract as BENCH_arena.json):
+//
+//   [{"n":..., "channels":..., "topology":"ws", "retry":"exclude",
+//     "gossip_refresh":1, "payments":..., "delivered":...,
+//     "success_rate":..., "events":..., "host_hw_threads":...,
+//     "wall_ms":..., "payments_per_sec":...}, ...]
+//
+// Like the other bench_* binaries this needs no google-benchmark and is
+// built unconditionally; CI runs --smoke and checks the JSON is well-formed.
+//
+//   bench_payments [--smoke] [--json PATH] [--sizes n1,n2,...]
+//                  [--payments P] [--repeat R]
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arena/export.h"
+#include "dist/fee.h"
+#include "dist/transaction_dist.h"
+#include "dist/tx_size.h"
+#include "runner/fixtures.h"
+#include "sim/workload.h"
+#include "traffic/engine.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lcg;
+
+struct bench_record {
+  std::size_t n = 0;
+  std::size_t channels = 0;
+  std::uint64_t payments = 0;
+  std::uint64_t delivered = 0;
+  double success_rate = 0.0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+};
+
+struct bench_config {
+  std::vector<std::size_t> sizes{64, 256};
+  std::uint64_t payments = 1'050'000;  ///< target arrivals per record
+  std::size_t repeat = 1;
+  std::string json_path = "BENCH_payments.json";
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::size_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), v);
+    if (ec != std::errc() || ptr != item.data() + item.size() || v == 0) {
+      std::cerr << "bench_payments: bad list entry '" << item << "'\n";
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    std::cerr << "bench_payments: empty list '" << text << "'\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<bench_record>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench_payments: cannot open '" << path << "'\n";
+    std::exit(1);
+  }
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bench_record& r = records[i];
+    const double per_sec =
+        r.wall_ms > 0.0
+            ? static_cast<double>(r.payments) / (r.wall_ms / 1000.0)
+            : 0.0;
+    os << "  {\"n\": " << r.n << ", \"channels\": " << r.channels
+       << ", \"topology\": \"ws\", \"retry\": \"exclude\""
+       << ", \"gossip_refresh\": 1, \"payments\": " << r.payments
+       << ", \"delivered\": " << r.delivered
+       << ", \"success_rate\": " << r.success_rate
+       << ", \"events\": " << r.events
+       << ", \"host_hw_threads\": " << hardware
+       << ", \"wall_ms\": " << r.wall_ms
+       << ", \"payments_per_sec\": " << per_sec << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+int run(const bench_config& config) {
+  std::vector<bench_record> records;
+  table t({"n", "channels", "payments", "delivered", "success", "events",
+           "wall ms", "payments/s"});
+
+  for (const std::size_t n : config.sizes) {
+    rng gen(n);
+    const graph::digraph host = runner::make_topology("ws", n, gen);
+    const dist::zipf_transaction_distribution zipf(1.0);
+    const dist::demand_model demand(host, zipf, static_cast<double>(n));
+    const dist::fixed_tx_size sizes(1.0);
+    const dist::constant_fee fee(0.5);
+
+    traffic::traffic_config tc;
+    // Rate n => horizon ~ payments / n arrivals before the horizon.
+    tc.horizon = static_cast<double>(config.payments) /
+                 static_cast<double>(n);
+    tc.fee = &fee;
+    tc.hop_latency = 0.01;
+    tc.htlc_timeout = 5.0;
+    tc.gossip_refresh = 1.0;
+    tc.retry.kind = traffic::retry_kind::exclude;
+
+    traffic::traffic_metrics m;
+    double best_ms = 0.0;
+    for (std::size_t r = 0; r < config.repeat; ++r) {
+      pcn::network net = arena::to_network(host, 16.0);
+      sim::workload_generator wl(demand, sizes, 42);
+      stopwatch sw;
+      m = traffic::run_traffic(net, wl, tc);
+      const double ms = sw.elapsed_ms();
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+
+    bench_record rec;
+    rec.n = n;
+    rec.channels = host.edge_count() / 2;
+    rec.payments = m.attempted;
+    rec.delivered = m.delivered;
+    rec.success_rate = m.success_rate();
+    rec.events = m.events;
+    rec.wall_ms = best_ms;
+    records.push_back(rec);
+    t.add_row({static_cast<long long>(n),
+               static_cast<long long>(rec.channels),
+               static_cast<long long>(rec.payments),
+               static_cast<long long>(rec.delivered), rec.success_rate,
+               static_cast<long long>(rec.events), rec.wall_ms,
+               rec.wall_ms > 0.0 ? static_cast<double>(rec.payments) /
+                                       (rec.wall_ms / 1000.0)
+                                 : 0.0});
+  }
+
+  std::cout << "HTLC traffic engine throughput (ws hosts, rate n, "
+            << "exclude-retry, 1-unit gossip staleness)\n";
+  t.print(std::cout);
+  write_json(config.json_path, records);
+  std::cout << records.size() << " record(s) -> " << config.json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_payments: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto parse_count = [&](const char* flag, auto& out) {
+      const std::string text = need_value(flag);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc() || ptr != text.data() + text.size() || out == 0) {
+        std::cerr << "bench_payments: bad " << flag << " '" << text << "'\n";
+        std::exit(2);
+      }
+    };
+    if (arg == "--smoke") {
+      // CI smoke mode: small hosts, a quick slice of the workload.
+      config.sizes = {24, 48};
+      config.payments = 20'000;
+    } else if (arg == "--json") {
+      config.json_path = need_value("--json");
+    } else if (arg == "--sizes") {
+      config.sizes = parse_size_list(need_value("--sizes"));
+    } else if (arg == "--payments") {
+      parse_count("--payments", config.payments);
+    } else if (arg == "--repeat") {
+      parse_count("--repeat", config.repeat);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_payments [--smoke] [--json PATH] "
+                   "[--sizes n1,n2,...] [--payments P] [--repeat R]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_payments: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  return run(config);
+}

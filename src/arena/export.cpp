@@ -1,0 +1,16 @@
+#include "arena/export.h"
+
+#include "topology/game.h"
+#include "util/error.h"
+
+namespace lcg::arena {
+
+pcn::network to_network(const graph::digraph& g, double balance_per_side) {
+  LCG_EXPECTS(balance_per_side > 0.0);
+  pcn::network net(g.node_count());
+  for (const topology::channel_pair& ch : topology::channel_pairs(g))
+    net.open_channel(ch.a, ch.b, balance_per_side, balance_per_side);
+  return net;
+}
+
+}  // namespace lcg::arena

@@ -1,0 +1,29 @@
+// Terminal-topology export: arena equilibrium -> payment-channel network.
+//
+// The arena converges to (or stops near) an equilibrium topology of the
+// channel-creation game; the traffic engine then wants to replay real HTLC
+// traffic over exactly that graph to compare each node's realised fee
+// revenue with the analytic E_rev its strategy was optimising. The bridge
+// is mechanical — every undirected channel of the terminal graph becomes a
+// pcn::network channel with symmetric deposits — but lives here so both
+// the traffic/arena_replay scenario and tests share one definition of
+// "the network the arena built".
+
+#ifndef LCG_ARENA_EXPORT_H
+#define LCG_ARENA_EXPORT_H
+
+#include "graph/digraph.h"
+#include "pcn/network.h"
+
+namespace lcg::arena {
+
+/// Builds a payment network over `g`'s nodes with one channel per
+/// undirected channel pair of `g`, each side depositing
+/// `balance_per_side` (> 0). `g` must be channel-paired
+/// (topology::channel_pairs), which arena terminal graphs always are.
+[[nodiscard]] pcn::network to_network(const graph::digraph& g,
+                                      double balance_per_side);
+
+}  // namespace lcg::arena
+
+#endif  // LCG_ARENA_EXPORT_H

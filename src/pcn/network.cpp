@@ -331,6 +331,67 @@ void network::settle_payment(
   ++succeeded_;
 }
 
+bool network::try_lock_htlc(graph::edge_id e, double amount) {
+  LCG_EXPECTS(e < edge_owner_.size());
+  LCG_EXPECTS(amount > 0.0);
+  channel& ch = channels_[edge_owner_[e]];
+  LCG_EXPECTS(ch.open);
+  if (ch.edge_ab == e) {
+    if (ch.balance_a < amount) return false;
+    ch.balance_a -= amount;
+    ch.locked_a += amount;
+    g_.set_capacity(ch.edge_ab, ch.balance_a);
+  } else {
+    if (ch.balance_b < amount) return false;
+    ch.balance_b -= amount;
+    ch.locked_b += amount;
+    g_.set_capacity(ch.edge_ba, ch.balance_b);
+  }
+  return true;
+}
+
+void network::settle_htlc(graph::edge_id e, double amount) {
+  LCG_EXPECTS(e < edge_owner_.size());
+  channel& ch = channels_[edge_owner_[e]];
+  if (ch.edge_ab == e) {
+    LCG_EXPECTS(ch.locked_a >= amount - 1e-12);
+    ch.locked_a -= amount;
+    ch.balance_b += amount;
+    g_.set_capacity(ch.edge_ba, ch.balance_b);
+  } else {
+    LCG_EXPECTS(ch.locked_b >= amount - 1e-12);
+    ch.locked_b -= amount;
+    ch.balance_a += amount;
+    g_.set_capacity(ch.edge_ab, ch.balance_a);
+  }
+}
+
+void network::fail_htlc(graph::edge_id e, double amount) {
+  LCG_EXPECTS(e < edge_owner_.size());
+  channel& ch = channels_[edge_owner_[e]];
+  if (ch.edge_ab == e) {
+    LCG_EXPECTS(ch.locked_a >= amount - 1e-12);
+    ch.locked_a -= amount;
+    ch.balance_a += amount;
+    g_.set_capacity(ch.edge_ab, ch.balance_a);
+  } else {
+    LCG_EXPECTS(ch.locked_b >= amount - 1e-12);
+    ch.locked_b -= amount;
+    ch.balance_b += amount;
+    g_.set_capacity(ch.edge_ba, ch.balance_b);
+  }
+}
+
+double network::locked_in_channel(channel_id id) const {
+  return channel_at(id).total_locked();
+}
+
+double network::total_locked() const {
+  double total = 0.0;
+  for (const channel& ch : channels_) total += ch.total_locked();
+  return total;
+}
+
 network::balance_snapshot network::snapshot_balances() const {
   balance_snapshot snap;
   snap.balances.reserve(channels_.size());

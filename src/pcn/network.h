@@ -35,11 +35,16 @@ struct channel {
   graph::node_id party_b = graph::invalid_node;
   double balance_a = 0.0;  // coins currently owned by a in the channel
   double balance_b = 0.0;
+  double locked_a = 0.0;   // a's coins locked by in-flight HTLCs
+  double locked_b = 0.0;
   graph::edge_id edge_ab = graph::invalid_edge;  // direction a -> b
   graph::edge_id edge_ba = graph::invalid_edge;  // direction b -> a
   bool open = false;
 
+  /// Spendable capacity (excludes in-flight locked amounts).
   double total_capacity() const noexcept { return balance_a + balance_b; }
+  /// Coins locked by in-flight HTLCs (both directions).
+  double total_locked() const noexcept { return locked_a + locked_b; }
 };
 
 enum class close_mode {
@@ -148,9 +153,41 @@ class network {
   bool payment_feasible(graph::node_id sender, graph::node_id receiver,
                         double amount) const;
 
+  // --- in-flight HTLCs ---------------------------------------------------
+  //
+  // The discrete-event traffic engine (src/traffic/) holds balance hop by
+  // hop while a payment is in flight. Locking reserves `amount` of the
+  // directed edge's source-side balance: the balance (and the edge
+  // capacity routing sees) drops immediately, but the coins are credited
+  // to the other side only on settle — or returned on fail/timeout.
+  // Invariant: balance_a + balance_b + locked_a + locked_b of a channel is
+  // constant under any lock/settle/fail sequence.
+
+  /// Reserves `amount` (> 0) of edge `e`'s source-side balance. Returns
+  /// false — changing nothing — when the available balance is below
+  /// `amount`.
+  [[nodiscard]] bool try_lock_htlc(graph::edge_id e, double amount);
+
+  /// Settles a previously locked HTLC: the locked amount moves to the
+  /// other end of the channel (Figure 1's balance shift, one hop).
+  void settle_htlc(graph::edge_id e, double amount);
+
+  /// Fails a previously locked HTLC: the locked amount returns to the
+  /// source-side balance.
+  void fail_htlc(graph::edge_id e, double amount);
+
+  /// Coins currently locked in channel `id` by in-flight HTLCs.
+  double locked_in_channel(channel_id id) const;
+
+  /// Coins locked across all channels (0 when no payment is in flight).
+  double total_locked() const;
+
   /// Snapshot / restore of all channel balances: lets experiments replay
   /// workloads against fixed balances (the paper's analytic model ignores
-  /// depletion; the simulator measures its effect).
+  /// depletion; the simulators measure its effect — see
+  /// pcn::periodic_balance_reset in pcn/reset.h for the shared periodic
+  /// form). Restore touches only the spendable balances; amounts locked by
+  /// in-flight HTLCs stay locked and re-materialise on settle/fail.
   struct balance_snapshot {
     std::vector<std::pair<double, double>> balances;  // (a, b) per channel
   };

@@ -1,0 +1,24 @@
+#include "pcn/reset.h"
+
+#include <limits>
+
+namespace lcg::pcn {
+
+periodic_balance_reset::periodic_balance_reset(network& net, double period)
+    : net_(&net),
+      snapshot_(net.snapshot_balances()),
+      period_(period),
+      next_(period > 0.0 ? period : std::numeric_limits<double>::infinity()) {}
+
+std::size_t periodic_balance_reset::advance_to(double time) {
+  std::size_t restored = 0;
+  while (time >= next_) {
+    net_->restore_balances(snapshot_);
+    next_ += period_;
+    ++restored;
+  }
+  applied_ += restored;
+  return restored;
+}
+
+}  // namespace lcg::pcn

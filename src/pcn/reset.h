@@ -1,0 +1,51 @@
+// Periodic balance restoration, shared by both simulation engines.
+//
+// Experiments that want to interpolate between "no depletion" (tiny period)
+// and fully dynamic balances (period off) restore every channel balance to
+// an initial snapshot at a fixed simulated-time period. The synchronous
+// engine (sim/engine.h, balance_reset_period) and the discrete-event
+// traffic engine (traffic/engine.h) share this helper so the semantics
+// cannot drift: the snapshot is captured at construction, and advance_to(t)
+// applies one restore per period boundary in (last, t].
+//
+// Restores touch only spendable balances; amounts locked by in-flight
+// HTLCs stay locked and re-materialise on settle/fail (pcn/network.h).
+
+#ifndef LCG_PCN_RESET_H
+#define LCG_PCN_RESET_H
+
+#include "pcn/network.h"
+
+namespace lcg::pcn {
+
+class periodic_balance_reset {
+ public:
+  /// Captures `net`'s balances now. `period` <= 0 disables resets (the
+  /// helper then never restores). `net` must outlive the helper.
+  periodic_balance_reset(network& net, double period);
+
+  /// Restores the snapshot once per period boundary <= `time` not yet
+  /// applied (the boundaries are period, 2*period, ...). Returns how many
+  /// restores this call performed. Times must be non-decreasing across
+  /// calls.
+  std::size_t advance_to(double time);
+
+  [[nodiscard]] bool enabled() const noexcept { return period_ > 0.0; }
+  [[nodiscard]] const network::balance_snapshot& snapshot() const noexcept {
+    return snapshot_;
+  }
+  [[nodiscard]] std::uint64_t resets_applied() const noexcept {
+    return applied_;
+  }
+
+ private:
+  network* net_;
+  network::balance_snapshot snapshot_;
+  double period_;
+  double next_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace lcg::pcn
+
+#endif  // LCG_PCN_RESET_H

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "arena/engine.h"
+#include "arena/export.h"
 #include "core/brute_force.h"
 #include "core/continuous.h"
 #include "core/discrete_search.h"
@@ -30,6 +31,7 @@
 #include "topology/path_circle.h"
 #include "topology/star.h"
 #include "topology/welfare.h"
+#include "traffic/engine.h"
 #include "util/format.h"
 
 namespace lcg::runner {
@@ -861,6 +863,162 @@ std::vector<result_row> run_host_properties(const scenario_context& ctx) {
   return {row};
 }
 
+// --- traffic/*: discrete-event HTLC traffic (src/traffic/) ----------------
+
+/// Shared traffic_config surface: every traffic scenario exposes the same
+/// engine knobs so sweeps compose across the family.
+traffic::traffic_config traffic_config_from(const scenario_context& ctx,
+                                            double default_horizon) {
+  traffic::traffic_config config;
+  config.horizon = ctx.get_double("horizon", default_horizon);
+  config.hop_latency = ctx.get_double("hop_latency", 0.05);
+  config.htlc_timeout = ctx.get_double("htlc_timeout", 2.0);
+  config.gossip_refresh = ctx.get_double("gossip_refresh", 0.0);
+  config.retry.kind =
+      traffic::retry_from_name(ctx.get_string("retry", "none"));
+  config.retry.max_retries =
+      static_cast<std::uint32_t>(ctx.get_int("max_retries", 3));
+  config.max_inflight =
+      static_cast<std::size_t>(ctx.get_int("max_inflight", 0));
+  return config;
+}
+
+void set_traffic_columns(result_row& row, const traffic::traffic_metrics& m) {
+  row.set("attempted", static_cast<long long>(m.attempted))
+      .set("delivered", static_cast<long long>(m.delivered))
+      .set("success_rate", m.success_rate())
+      .set("no_route", static_cast<long long>(m.failed_no_route))
+      .set("mid_flight", static_cast<long long>(m.failed_mid_flight))
+      .set("timed_out", static_cast<long long>(m.timed_out))
+      .set("retries", static_cast<long long>(m.retries))
+      .set("lock_failures", static_cast<long long>(m.lock_failures))
+      .set("max_inflight", static_cast<long long>(m.max_inflight_seen))
+      .set("events", static_cast<long long>(m.events))
+      .set("volume_delivered", m.volume_delivered);
+}
+
+std::vector<result_row> run_traffic_baseline(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 32));
+  const double balance = ctx.get_double("balance", 12.0);
+  const double fee_value = ctx.get_double("fee", 0.5);
+  const double zipf_s = ctx.get_double("zipf_s", 1.0);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph topo = make_topology(topo_name, n, gen);
+  const dist::zipf_transaction_distribution zipf(zipf_s);
+  const dist::demand_model demand(topo, zipf,
+                                  static_cast<double>(topo.node_count()));
+  pcn::network net = arena::to_network(topo, balance);
+  const dist::fixed_tx_size sizes(1.0);
+  const dist::constant_fee fee(fee_value);
+  const std::uint64_t workload_seed = gen();
+  sim::workload_generator wl(demand, sizes, workload_seed);
+  traffic::traffic_config config = traffic_config_from(ctx, 150.0);
+  config.fee = &fee;
+  const traffic::traffic_metrics m = traffic::run_traffic(net, wl, config);
+  result_row row;
+  set_traffic_columns(row, m);
+  return {row};
+}
+
+/// Pearson correlation; 0 when either series is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Runs the arena to a terminal topology, then replays heavy HTLC traffic
+/// over that network and compares each node's realised fee revenue per unit
+/// time with the analytic E_rev its strategy was optimising. One row per
+/// top-analytic-revenue node; aggregate columns repeat on every row.
+std::vector<result_row> run_traffic_arena_replay(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 120));
+  const double balance = ctx.get_double("balance", 40.0);
+  const double fee_value = ctx.get_double("fee", 0.5);
+  const double zipf_s = ctx.get_double("zipf_s", 1.0);
+  const topology::game_params p = game_params_from(ctx);
+  // Threshold 0: the arena leg always uses the sampled provider (this is
+  // the n >> 8 regime, same as arena/scale_profile).
+  const arena::arena_options options = arena_options_from(ctx, 0);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+  const arena::arena_result res = arena::run_arena(start, p, options);
+  const graph::digraph& final_graph = res.state.graph();
+
+  // Analytic per-node revenue rate on the terminal topology: one exact
+  // betweenness sweep under the replay demand gives every node's
+  // through-rate, times f_avg (Section IV's E_rev).
+  const dist::zipf_transaction_distribution zipf(zipf_s);
+  const dist::demand_model demand(final_graph, zipf,
+                                  static_cast<double>(n));
+  const graph::betweenness_result bt =
+      graph::weighted_betweenness(final_graph, demand.weight_fn());
+  std::vector<double> analytic(n, 0.0);
+  for (graph::node_id v = 0; v < n; ++v)
+    analytic[v] = bt.node[v] * fee_value;
+
+  pcn::network net = arena::to_network(final_graph, balance);
+  const dist::fixed_tx_size sizes(1.0);
+  const dist::constant_fee fee(fee_value);
+  const std::uint64_t workload_seed = gen();
+  sim::workload_generator wl(demand, sizes, workload_seed);
+  traffic::traffic_config config = traffic_config_from(ctx, 250.0);
+  config.fee = &fee;
+  const traffic::traffic_metrics m = traffic::run_traffic(net, wl, config);
+
+  std::vector<double> realised(n, 0.0);
+  for (graph::node_id v = 0; v < n; ++v) realised[v] = m.revenue_rate(v);
+  const double corr = pearson(analytic, realised);
+
+  std::vector<graph::node_id> order(n);
+  for (graph::node_id v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](graph::node_id a, graph::node_id b) {
+              if (analytic[a] != analytic[b]) return analytic[a] > analytic[b];
+              return a < b;
+            });
+  const std::size_t top =
+      std::min<std::size_t>(static_cast<std::size_t>(ctx.get_int("top", 8)),
+                            n);
+  std::vector<result_row> rows;
+  for (std::size_t i = 0; i < top; ++i) {
+    const graph::node_id v = order[i];
+    result_row row;
+    row.set("node", static_cast<long long>(v))
+        .set("analytic_e_rev", analytic[v])
+        .set("realised_e_rev", realised[v])
+        .set("rel_err", analytic[v] > 0.0
+                            ? std::abs(realised[v] - analytic[v]) / analytic[v]
+                            : 0.0)
+        .set("outcome", std::string(outcome_name(res.outcome)))
+        .set("channels_final",
+             static_cast<long long>(final_graph.edge_count() / 2))
+        .set("attempted", static_cast<long long>(m.attempted))
+        .set("success_rate", m.success_rate())
+        .set("revenue_corr", corr);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 std::vector<value> ints(std::initializer_list<long long> xs) {
   std::vector<value> out;
   for (const long long x : xs) out.emplace_back(x);
@@ -1034,6 +1192,28 @@ std::size_t register_builtin_scenarios() {
            {"nodes", "outcome", "rounds", "moves", "evaluations",
             "evals_per_player", "channels_start", "channels_final",
             "final_shape", "max_degree", "welfare"}});
+    r.add({"traffic/baseline",
+           "discrete-event HTLC traffic: retries x gossip staleness",
+           {{"retry", strings({"none", "exclude", "backoff"})},
+            {"gossip_refresh", doubles({0.0, 5.0})}},
+           run_traffic_baseline,
+           "1",
+           {"attempted", "delivered", "success_rate", "no_route",
+            "mid_flight", "timed_out", "retries", "lock_failures",
+            "max_inflight", "events", "volume_delivered"}});
+    r.add({"traffic/arena_replay",
+           "arena terminal topology under HTLC traffic: realised vs E_rev",
+           {{"n", ints({120})},
+            {"pivots", ints({16})},
+            {"candidate_k", ints({3})},
+            {"candidate_random", ints({0})},
+            {"max_channels", ints({3})},
+            {"retry", strings({"exclude"})},
+            {"gossip_refresh", doubles({1.0})}},
+           run_traffic_arena_replay,
+           "1",
+           {"node", "analytic_e_rev", "realised_e_rev", "rel_err", "outcome",
+            "channels_final", "attempted", "success_rate", "revenue_corr"}});
     r.add({"scale/sampled_betweenness",
            "Brandes–Pich pivot error vs exact on 10^3..10^4-node hosts",
            {{"n", ints({2000, 10000})},

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "pcn/reset.h"
 #include "util/error.h"
 
 namespace lcg::sim {
@@ -25,10 +26,7 @@ sim_metrics run_simulation(pcn::network& net, workload_generator& workload,
     paid_before[v] = net.fees_paid(v);
   }
 
-  const pcn::network::balance_snapshot initial = net.snapshot_balances();
-  double next_reset = config.balance_reset_period > 0.0
-                          ? config.balance_reset_period
-                          : std::numeric_limits<double>::infinity();
+  pcn::periodic_balance_reset reset(net, config.balance_reset_period);
   rng router(config.router_seed);
   rng* tie_breaker = config.random_tie_break ? &router : nullptr;
   double next_rebalance =
@@ -39,10 +37,7 @@ sim_metrics run_simulation(pcn::network& net, workload_generator& workload,
   for (;;) {
     const std::optional<tx_event> ev = workload.next();
     if (!ev || ev->time >= config.horizon) break;
-    while (ev->time >= next_reset) {
-      net.restore_balances(initial);
-      next_reset += config.balance_reset_period;
-    }
+    reset.advance_to(ev->time);
     while (ev->time >= next_rebalance) {
       const rebalancing_sweep_stats sweep =
           rebalancing_sweep(net, *config.rebalancing);

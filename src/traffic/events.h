@@ -1,0 +1,79 @@
+// The traffic engine's timestamped event queue.
+//
+// A discrete-event PCN simulation (CLoTH-style) is a single totally-ordered
+// stream of events: payment arrivals, per-hop HTLC forwards, backward
+// settle propagation, timeouts, retries and gossip refreshes. Total order
+// matters for determinism: two events at the same simulated time are
+// processed in scheduling order (a monotonically increasing sequence
+// number), so a run is a pure function of its inputs — no heap tie-break
+// ever depends on memory layout or thread timing.
+
+#ifndef LCG_TRAFFIC_EVENTS_H
+#define LCG_TRAFFIC_EVENTS_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcg::traffic {
+
+enum class event_kind : std::uint8_t {
+  arrival,         ///< a payment enters the network at its sender
+  forward,         ///< try to lock the HTLC of route hop `hop`
+  settle,          ///< settle the lock of route hop `hop` (backward walk)
+  timeout,         ///< abort the attempt if it is still forwarding
+  retry,           ///< re-route a failed payment (backoff policies)
+  gossip_refresh,  ///< routers re-learn the current channel balances
+};
+
+struct event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< scheduling order; breaks time ties
+  event_kind kind = event_kind::arrival;
+  std::uint64_t payment = 0;  ///< slot | generation (traffic/engine.cpp)
+  std::uint32_t attempt = 0;  ///< attempt the event belongs to
+  std::uint32_t hop = 0;      ///< route index for forward/settle
+};
+
+/// Min-heap over (time, seq): earliest first, FIFO within a timestamp.
+class event_queue {
+ public:
+  /// Schedules `ev` at `ev.time`, assigning the next sequence number.
+  void push(event ev) {
+    ev.seq = next_seq_++;
+    heap_.push(ev);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Events ever scheduled (the engine's `events` metric).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+
+  [[nodiscard]] const event& peek() const {
+    LCG_EXPECTS(!heap_.empty());
+    return heap_.top();
+  }
+
+  event pop() {
+    LCG_EXPECTS(!heap_.empty());
+    const event ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+ private:
+  struct later_first {
+    bool operator()(const event& a, const event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<event, std::vector<event>, later_first> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lcg::traffic
+
+#endif  // LCG_TRAFFIC_EVENTS_H

@@ -1,0 +1,66 @@
+// In-flight payment state: one record per live payment, recycled slots.
+//
+// A payment in the traffic engine moves through phases: it arrives, waits
+// for a dispatch slot if the engine caps concurrency, is routed, forwards
+// an HTLC chain hop by hop (each hop locking balance via
+// pcn::network::try_lock_htlc), then settles backward from the receiver —
+// or fails mid-flight and releases its locks. Slots are recycled through a
+// free list so memory stays proportional to the number of payments IN
+// FLIGHT, not the number simulated (the engine targets millions of
+// payments per run); events reference payments as slot | generation<<32 so
+// an event addressed to a completed (recycled) payment is detectably stale.
+
+#ifndef LCG_TRAFFIC_HTLC_H
+#define LCG_TRAFFIC_HTLC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace lcg::traffic {
+
+enum class payment_phase : std::uint8_t {
+  idle,           ///< slot free
+  queued,         ///< arrived, waiting for a dispatch slot (max_inflight)
+  forwarding,     ///< HTLC chain advancing, locks [0, locked_hops) held
+  settling,       ///< receiver reached, settle walking backward
+  waiting_retry,  ///< failed attempt, retry scheduled
+};
+
+/// Why an attempt (or the whole payment) failed.
+enum class fail_reason : std::uint8_t {
+  no_route,   ///< router found no feasible path on its balance view
+  lock_fail,  ///< a hop's REAL balance was below the amount (stale view)
+  timed_out,  ///< the attempt outlived the HTLC timeout
+};
+
+struct payment_state {
+  graph::node_id sender = graph::invalid_node;
+  graph::node_id receiver = graph::invalid_node;
+  double amount = 0.0;
+  double arrival_time = 0.0;
+  std::uint32_t generation = 0;  ///< bumped on slot recycle
+  std::uint32_t attempt = 0;     ///< 0-based attempt counter
+  payment_phase phase = payment_phase::idle;
+  std::vector<graph::edge_id> route;     ///< current attempt's edges
+  std::uint32_t locked_hops = 0;         ///< hops [0, locked_hops) hold locks
+  std::vector<graph::edge_id> excluded;  ///< edges barred by retry policy
+};
+
+/// Packs a slot index and its generation into an event's payment field.
+[[nodiscard]] inline std::uint64_t payment_ref(std::uint32_t slot,
+                                               std::uint32_t generation) {
+  return static_cast<std::uint64_t>(slot) |
+         (static_cast<std::uint64_t>(generation) << 32);
+}
+[[nodiscard]] inline std::uint32_t payment_slot(std::uint64_t ref) {
+  return static_cast<std::uint32_t>(ref);
+}
+[[nodiscard]] inline std::uint32_t payment_generation(std::uint64_t ref) {
+  return static_cast<std::uint32_t>(ref >> 32);
+}
+
+}  // namespace lcg::traffic
+
+#endif  // LCG_TRAFFIC_HTLC_H

@@ -1,0 +1,54 @@
+#include "traffic/retry.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.h"
+
+namespace lcg::traffic {
+
+retry_kind retry_from_name(std::string_view name) {
+  if (name == "none") return retry_kind::none;
+  if (name == "exclude") return retry_kind::exclude;
+  if (name == "backoff") return retry_kind::backoff;
+  throw precondition_error("unknown retry policy '" + std::string(name) +
+                           "' (none|exclude|backoff)");
+}
+
+std::string_view retry_name(retry_kind kind) {
+  switch (kind) {
+    case retry_kind::none:
+      return "none";
+    case retry_kind::exclude:
+      return "exclude";
+    case retry_kind::backoff:
+      return "backoff";
+  }
+  throw precondition_error("invalid retry_kind");
+}
+
+retry_decision decide_retry(const retry_policy& policy, fail_reason reason,
+                            std::uint32_t attempts_done) {
+  LCG_EXPECTS(attempts_done >= 1);
+  if (reason == fail_reason::timed_out) return {};  // always terminal
+  if (attempts_done > policy.max_retries) return {};
+  switch (policy.kind) {
+    case retry_kind::none:
+      return {};
+    case retry_kind::exclude:
+      // Re-routing at the same instant only helps when the failure added
+      // exclusion information; a no_route would reproduce itself.
+      if (reason == fail_reason::no_route) return {};
+      return {true, 0.0};
+    case retry_kind::backoff: {
+      const double delay = std::min(
+          policy.backoff_base *
+              static_cast<double>(1ULL << std::min(attempts_done - 1, 30u)),
+          policy.backoff_cap);
+      return {true, delay};
+    }
+  }
+  return {};
+}
+
+}  // namespace lcg::traffic

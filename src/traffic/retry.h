@@ -1,0 +1,60 @@
+// Pluggable retry policies for failed payment attempts.
+//
+// When an attempt fails — no feasible route on the sender's balance view,
+// or a mid-flight lock failure on a hop whose real balance was below the
+// amount — the engine consults a retry policy:
+//
+//   * none     — every failure is terminal.
+//   * exclude  — retry immediately, excluding every edge that caused a
+//     lock failure for this payment (the CLoTH/Lightning "blacklist the
+//     failing channel and re-route" behaviour). A no_route failure is
+//     terminal under this policy: nothing changed since the last routing
+//     attempt at the same timestamp, so re-routing would loop.
+//   * backoff  — retry after a capped exponential delay
+//     (min(base * 2^attempt, cap)); time passing is the repair mechanism
+//     (gossip refreshes, other payments replenishing balances), so both
+//     no_route and lock failures are retried. Lock-failing edges are
+//     excluded here too.
+//
+// Timeouts are always terminal: an HTLC that outlived its timeout already
+// burned its locks for the full window, and retrying would let a slow
+// payment occupy the engine forever.
+
+#ifndef LCG_TRAFFIC_RETRY_H
+#define LCG_TRAFFIC_RETRY_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "traffic/htlc.h"
+
+namespace lcg::traffic {
+
+enum class retry_kind : std::uint8_t { none, exclude, backoff };
+
+/// Parses "none" / "exclude" / "backoff"; throws precondition_error
+/// otherwise (scenario and CLI parameter surface).
+[[nodiscard]] retry_kind retry_from_name(std::string_view name);
+[[nodiscard]] std::string_view retry_name(retry_kind kind);
+
+struct retry_policy {
+  retry_kind kind = retry_kind::none;
+  std::uint32_t max_retries = 3;  ///< extra attempts after the first
+  double backoff_base = 0.5;      ///< first backoff delay (time units)
+  double backoff_cap = 8.0;       ///< delay ceiling
+};
+
+struct retry_decision {
+  bool retry = false;
+  double delay = 0.0;
+};
+
+/// Whether (and when) to retry after `attempts_done` attempts all failed,
+/// the last one for `reason`. `attempts_done` >= 1.
+[[nodiscard]] retry_decision decide_retry(const retry_policy& policy,
+                                          fail_reason reason,
+                                          std::uint32_t attempts_done);
+
+}  // namespace lcg::traffic
+
+#endif  // LCG_TRAFFIC_RETRY_H

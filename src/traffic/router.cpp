@@ -1,0 +1,60 @@
+#include "traffic/router.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lcg::traffic {
+
+balance_view::balance_view(const pcn::network& net, bool fresh)
+    : net_(&net), fresh_(fresh) {
+  if (!fresh_) refresh();
+}
+
+void balance_view::refresh() {
+  if (fresh_) return;
+  const graph::digraph& g = net_->topology();
+  believed_.resize(g.edge_slots());
+  for (graph::edge_id e = 0; e < g.edge_slots(); ++e)
+    believed_[e] = g.edge_at(e).capacity;
+  ++refreshes_;
+}
+
+std::vector<graph::edge_id> find_route(
+    const pcn::network& net, const balance_view& view, graph::node_id sender,
+    graph::node_id receiver, double amount,
+    const std::vector<graph::edge_id>& excluded) {
+  const graph::digraph& g = net.topology();
+  // Same BFS as pcn::network::feasible_path's deterministic mode, on the
+  // believed balances: adjacency order decides ties, so a fresh view
+  // reproduces execute_payment's path exactly.
+  std::vector<graph::edge_id> parent_edge(g.node_count(),
+                                          graph::invalid_edge);
+  std::vector<char> seen(g.node_count(), 0);
+  std::queue<graph::node_id> frontier;
+  seen[sender] = 1;
+  frontier.push(sender);
+  while (!frontier.empty() && !seen[receiver]) {
+    const graph::node_id v = frontier.front();
+    frontier.pop();
+    g.for_each_out(v, [&](graph::edge_id e, const graph::edge& ed) {
+      if (seen[ed.dst] || view.believed(e, ed, sender) < amount) return;
+      if (std::find(excluded.begin(), excluded.end(), e) != excluded.end())
+        return;
+      seen[ed.dst] = 1;
+      parent_edge[ed.dst] = e;
+      frontier.push(ed.dst);
+    });
+  }
+  if (!seen[receiver]) return {};
+  std::vector<graph::edge_id> route;
+  graph::node_id v = receiver;
+  while (v != sender) {
+    const graph::edge_id e = parent_edge[v];
+    route.push_back(e);
+    v = g.edge_at(e).src;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+}  // namespace lcg::traffic

@@ -171,6 +171,69 @@ TEST(Network, AddNodeGrowsLedgers) {
   EXPECT_EQ(net.channel_count(), 1u);
 }
 
+TEST(Network, HtlcLockSettleFailLifecycle) {
+  // Lock reserves the source side (routing capacity drops immediately),
+  // settle credits the other side, fail returns the coins — and
+  // balance_a + balance_b + locked_a + locked_b never changes.
+  network net(2);
+  const channel_id id = net.open_channel(0, 1, 10.0, 4.0);
+  const channel& ch = net.channel_at(id);
+  const auto invariant = [&] {
+    return ch.balance_a + ch.balance_b + ch.locked_a + ch.locked_b;
+  };
+  ASSERT_DOUBLE_EQ(invariant(), 14.0);
+
+  ASSERT_TRUE(net.try_lock_htlc(ch.edge_ab, 6.0));
+  EXPECT_DOUBLE_EQ(ch.balance_a, 4.0);
+  EXPECT_DOUBLE_EQ(ch.locked_a, 6.0);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ab).capacity, 4.0);
+  EXPECT_DOUBLE_EQ(net.locked_in_channel(id), 6.0);
+  EXPECT_DOUBLE_EQ(net.total_locked(), 6.0);
+  EXPECT_DOUBLE_EQ(invariant(), 14.0);
+
+  // Insufficient available balance: refused, nothing changes.
+  EXPECT_FALSE(net.try_lock_htlc(ch.edge_ab, 5.0));
+  EXPECT_DOUBLE_EQ(ch.balance_a, 4.0);
+  EXPECT_DOUBLE_EQ(ch.locked_a, 6.0);
+
+  // Settle: the locked coins become b's balance; b's edge capacity grows.
+  net.settle_htlc(ch.edge_ab, 6.0);
+  EXPECT_DOUBLE_EQ(ch.locked_a, 0.0);
+  EXPECT_DOUBLE_EQ(ch.balance_b, 10.0);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ba).capacity, 10.0);
+  EXPECT_DOUBLE_EQ(net.total_locked(), 0.0);
+  EXPECT_DOUBLE_EQ(invariant(), 14.0);
+
+  // Fail: the locked coins return to the locking side.
+  ASSERT_TRUE(net.try_lock_htlc(ch.edge_ba, 10.0));
+  EXPECT_DOUBLE_EQ(ch.balance_b, 0.0);
+  EXPECT_DOUBLE_EQ(ch.locked_b, 10.0);
+  net.fail_htlc(ch.edge_ba, 10.0);
+  EXPECT_DOUBLE_EQ(ch.balance_b, 10.0);
+  EXPECT_DOUBLE_EQ(ch.locked_b, 0.0);
+  EXPECT_DOUBLE_EQ(net.topology().edge_at(ch.edge_ba).capacity, 10.0);
+  EXPECT_DOUBLE_EQ(invariant(), 14.0);
+}
+
+TEST(Network, HtlcLocksAreInvisibleToRoutingAndSurviveRestore) {
+  network net(2);
+  const channel_id id = net.open_channel(0, 1, 5.0, 0.0);
+  const channel& ch = net.channel_at(id);
+  const auto snap = net.snapshot_balances();
+  ASSERT_TRUE(net.try_lock_htlc(ch.edge_ab, 4.0));
+  // Routing sees only the unlocked remainder.
+  EXPECT_FALSE(net.payment_feasible(0, 1, 2.0));
+  EXPECT_TRUE(net.payment_feasible(0, 1, 1.0));
+  // Restore rewrites spendable balances but never touches locks...
+  net.restore_balances(snap);
+  EXPECT_DOUBLE_EQ(ch.balance_a, 5.0);
+  EXPECT_DOUBLE_EQ(ch.locked_a, 4.0);
+  // ...so a later settle still moves exactly the locked coins.
+  net.settle_htlc(ch.edge_ab, 4.0);
+  EXPECT_DOUBLE_EQ(ch.balance_b, 4.0);
+  EXPECT_DOUBLE_EQ(net.total_locked(), 0.0);
+}
+
 TEST(Network, ParallelChannelsBetweenSamePair) {
   network net(2);
   net.open_channel(0, 1, 1.0, 0.0);

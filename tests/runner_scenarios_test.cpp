@@ -61,14 +61,15 @@ std::string cell_string(const result_row& row, const std::string& column) {
   throw std::runtime_error("no string column " + column);
 }
 
-TEST(ScenarioCatalog, HasAtLeast18ScenariosIncludingTheArenaFamilies) {
+TEST(ScenarioCatalog, HasAtLeast20ScenariosIncludingTheTrafficFamilies) {
   const std::size_t count = register_builtin_scenarios();
-  EXPECT_GE(count, 18u);
+  EXPECT_GE(count, 20u);
   for (const char* name :
        {"sim/rebalance_policy", "sim/estimation_convergence",
         "sim/estimation_downstream", "topo/best_response",
         "scale/sampled_betweenness", "scale/host_properties",
-        "arena/best_response", "arena/oracle_duel", "arena/scale_profile"}) {
+        "arena/best_response", "arena/oracle_duel", "arena/scale_profile",
+        "traffic/baseline", "traffic/arena_replay"}) {
     const scenario* sc = registry::global().find(name);
     ASSERT_NE(sc, nullptr) << name;
     EXPECT_FALSE(sc->columns.empty()) << name;
@@ -382,6 +383,170 @@ TEST(ScenarioCatalog, ArenaOracleDuelKeepsBruteRowsAtSmallN) {
       run_jobs(one_job("arena/oracle_duel", {{"n", value(20LL)}}), {});
   ASSERT_TRUE(large.at(0).ok()) << large[0].error;
   EXPECT_EQ(large[0].rows.size(), 2u);  // brute is unaffordable
+}
+
+TEST(ScenarioCatalog, TrafficScenariosByteIdenticalAcrossJobCounts) {
+  // Satellite of ISSUE 6: the traffic engine draws no randomness of its
+  // own (the workload stream is the only stochastic input), so --jobs 1
+  // and --jobs 8 must render byte-identically over the whole family —
+  // the full 6-point baseline sweep plus an arena replay pinned to a
+  // test-sized population.
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  for (const auto& [name, pins] :
+       std::vector<std::pair<std::string,
+                             std::vector<std::pair<std::string, value>>>>{
+           {"traffic/baseline", {}},
+           {"traffic/arena_replay",
+            {{"n", value(40LL)}, {"horizon", value(60.0)}}}}) {
+    const scenario& sc = find_or_die(name);
+    param_grid grid(sc.default_sweep);
+    for (const auto& [k, v] : pins) grid.set(k, v);
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 42);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+  ASSERT_GE(jobs.size(), 7u);
+
+  run_options serial;
+  serial.jobs = 1;
+  run_options wide;
+  wide.jobs = 8;
+  const std::vector<job_result> a = run_jobs(jobs, serial);
+  const std::vector<job_result> b = run_jobs(jobs, wide);
+
+  std::ostringstream csv_a, csv_b;
+  write_csv(csv_a, a);
+  write_csv(csv_b, b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  for (const job_result& r : a) EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST(ScenarioCatalog, TrafficCacheColdWarmRoundTrip) {
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  {
+    const scenario& sc = find_or_die("traffic/baseline");
+    param_grid grid(sc.default_sweep);
+    grid.set("horizon", value(40.0));
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 7);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+  {
+    const scenario& sc = find_or_die("traffic/arena_replay");
+    param_grid grid(sc.default_sweep);
+    grid.set("n", value(40LL));
+    grid.set("horizon", value(40.0));
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 7);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("lcg_traffic_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  run_options opt;
+  opt.cache_dir = dir.string();
+
+  const std::vector<job_result> cold = run_jobs(jobs, opt);
+  const std::vector<job_result> warm = run_jobs(jobs, opt);
+  EXPECT_EQ(summarise(cold).cache_hits, 0u);
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+
+  std::ostringstream cold_csv, warm_csv;
+  write_csv(cold_csv, cold);
+  write_csv(warm_csv, warm);
+  EXPECT_EQ(cold_csv.str(), warm_csv.str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioCatalog, TrafficShardConcatReproducesUnshardedSweep) {
+  // Concatenating the 3 shard CSVs of the baseline sweep in shard order
+  // must reproduce the unsharded render byte-for-byte (rows against the
+  // sweep-wide layout, header only on the shard whose slice starts at 0) —
+  // the lcg_run --shard contract, exercised over a multi-row-per-job family
+  // neighbour too (arena_replay emits `top` rows per job).
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  for (const auto& [name, pins] :
+       std::vector<std::pair<std::string,
+                             std::vector<std::pair<std::string, value>>>>{
+           {"traffic/baseline", {{"horizon", value(40.0)}}},
+           {"traffic/arena_replay",
+            {{"n", value(40LL)}, {"horizon", value(40.0)}}}}) {
+    const scenario& sc = find_or_die(name);
+    param_grid grid(sc.default_sweep);
+    for (const auto& [k, v] : pins) grid.set(k, v);
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 42);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+  ASSERT_GE(jobs.size(), 7u);
+
+  const auto layout = merged_columns_for_jobs(jobs);
+  ASSERT_TRUE(layout.has_value());
+
+  std::ostringstream full;
+  write_csv(full, run_jobs(jobs, {}), *layout, /*with_header=*/true);
+
+  std::string concatenated;
+  const std::uint32_t shards = 3;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const shard_spec spec{i, shards};
+    const std::vector<job> slice = take_shard(jobs, spec);
+    const std::vector<job_result> results = run_jobs(slice, {});
+    std::ostringstream os;
+    const bool with_header = shard_range(jobs.size(), spec).first == 0;
+    write_csv(os, results, *layout, with_header);
+    concatenated += os.str();
+  }
+  EXPECT_EQ(concatenated, full.str());
+}
+
+TEST(ScenarioCatalog, TrafficBaselineStalenessShiftsFailureMode) {
+  // The experiment the sweep exists for: with retry=none, a 5-unit-stale
+  // gossip view routes confidently into depleted edges — failures migrate
+  // from up-front no_route to in-flight lock failures vs the fresh view.
+  register_builtin_scenarios();
+  const scenario& sc = find_or_die("traffic/baseline");
+  param_grid grid(sc.default_sweep);
+  grid.set("retry", value(std::string("none")));
+  const std::vector<job> jobs = expand_jobs(sc, grid, 1, 42);
+  ASSERT_EQ(jobs.size(), 2u);  // gossip_refresh in {0.0, 5.0}
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  const result_row* fresh = nullptr;
+  const result_row* stale = nullptr;
+  for (const job_result& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    const double refresh = std::get<double>(r.params.at("gossip_refresh"));
+    (refresh == 0.0 ? fresh : stale) = &r.rows.at(0);
+  }
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_GT(cell_double(*stale, "mid_flight"),
+            cell_double(*fresh, "mid_flight"));
+  EXPECT_LT(cell_double(*stale, "no_route"), cell_double(*fresh, "no_route"));
+  EXPECT_GT(cell_double(*fresh, "attempted"), 1000.0);
+}
+
+TEST(ScenarioCatalog, TrafficArenaReplayCorrelatesRealisedWithAnalytic) {
+  // ISSUE 6 acceptance: the default-sweep replay (n=120 arena terminal
+  // topology) reports realised vs analytic E_rev per top node and the two
+  // series correlate strongly, with realised shortfall explained by
+  // depletion/staleness (rel_err finite, success < 1).
+  register_builtin_scenarios();
+  const scenario& sc = find_or_die("traffic/arena_replay");
+  const std::vector<job> jobs =
+      expand_jobs(sc, param_grid(sc.default_sweep), 1, 42);
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_GE(std::get<long long>(jobs.front().params.at("n")), 120LL);
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  ASSERT_TRUE(results.at(0).ok()) << results[0].error;
+  ASSERT_EQ(results[0].rows.size(), 8u);  // top 8 analytic-revenue nodes
+  for (const result_row& row : results[0].rows) {
+    EXPECT_GT(cell_double(row, "analytic_e_rev"), 0.0);
+    EXPECT_GE(cell_double(row, "realised_e_rev"), 0.0);
+    EXPECT_GT(cell_double(row, "revenue_corr"), 0.9);
+    EXPECT_GT(cell_double(row, "attempted"), 10000.0);
+  }
 }
 
 TEST(ScenarioCatalog, HostPropertiesCoversLinearEdgeFamilies) {

@@ -4,6 +4,7 @@
 
 #include "graph/generators.h"
 #include "pcn/rates.h"
+#include "pcn/reset.h"
 
 namespace lcg::sim {
 namespace {
@@ -142,6 +143,43 @@ TEST(Engine, RevenueRateApproachesAnalyticExpectation) {
   const sim_metrics m = run_simulation(net, wl, config);
   ASSERT_GT(m.succeeded, 1000u);
   EXPECT_NEAR(m.revenue_rate(0), analytic_rate, analytic_rate * 0.1);
+}
+
+TEST(Reset, AdvanceToRestoresAtEveryCrossedBoundary) {
+  // pcn::periodic_balance_reset is shared by sim::run_simulation and
+  // traffic::run_traffic; pin its boundary semantics down directly.
+  pcn::network net = cycle_network(4, 10.0);
+  pcn::periodic_balance_reset reset(net, 5.0);
+  ASSERT_TRUE(reset.enabled());
+
+  ASSERT_TRUE(net.execute_payment(0, 1, 4.0).ok());
+  const pcn::channel_id ab = *net.find_channel(0, 1);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 6.0);
+
+  // Strictly inside the first period: nothing happens.
+  EXPECT_EQ(reset.advance_to(4.9), 0u);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 6.0);
+  // Crossing t = 5 restores the snapshot taken at construction.
+  EXPECT_EQ(reset.advance_to(5.0), 1u);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 10.0);
+
+  // Jumping far ahead applies one restore per crossed boundary
+  // (t = 10, 15, 20, 25), not just one.
+  ASSERT_TRUE(net.execute_payment(0, 1, 4.0).ok());
+  EXPECT_EQ(reset.advance_to(25.0), 4u);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 10.0);
+  EXPECT_EQ(reset.resets_applied(), 5u);
+}
+
+TEST(Reset, ZeroPeriodDisablesWithoutSideEffects) {
+  pcn::network net = cycle_network(3, 8.0);
+  pcn::periodic_balance_reset reset(net, 0.0);
+  EXPECT_FALSE(reset.enabled());
+  ASSERT_TRUE(net.execute_payment(0, 1, 3.0).ok());
+  EXPECT_EQ(reset.advance_to(1e9), 0u);
+  const pcn::channel_id ab = *net.find_channel(0, 1);
+  EXPECT_DOUBLE_EQ(net.balance_of(ab, 0), 5.0);  // payment untouched
+  EXPECT_EQ(reset.resets_applied(), 0u);
 }
 
 TEST(Engine, ZeroHorizon) {

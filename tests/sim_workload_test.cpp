@@ -101,6 +101,43 @@ TEST(Workload, ZeroRateProducesNothing) {
   EXPECT_TRUE(wl.generate(100.0).empty());
 }
 
+TEST(Workload, StreamingNextReproducesGenerateByteForByte) {
+  // The traffic engine (src/traffic/) consumes the stream one next() at a
+  // time, never materialising an event vector; interleaved pulls must
+  // reproduce generate(horizon) exactly — bitwise equality on every field,
+  // including across a horizon boundary (both modes consume and drop the
+  // first event at or past the horizon).
+  const graph::digraph g = graph::cycle_graph(6);
+  const auto demand = uniform_demand(g, 9.0);
+  const dist::uniform_tx_size sizes(2.0);
+
+  workload_generator batch(demand, sizes, 123);
+  std::vector<tx_event> expected = batch.generate(50.0);
+  const std::size_t first_segment = expected.size();
+  const std::vector<tx_event> second = batch.generate(80.0);
+  expected.insert(expected.end(), second.begin(), second.end());
+  ASSERT_GT(first_segment, 100u);
+  ASSERT_GT(expected.size(), first_segment);
+
+  workload_generator streaming(demand, sizes, 123);
+  std::vector<tx_event> streamed;
+  for (const double horizon : {50.0, 80.0}) {
+    for (;;) {
+      const std::optional<tx_event> ev = streaming.next();
+      ASSERT_TRUE(ev.has_value());
+      if (ev->time >= horizon) break;
+      streamed.push_back(*ev);
+    }
+  }
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(streamed[i].time, expected[i].time) << i;  // exact, not NEAR
+    EXPECT_EQ(streamed[i].sender, expected[i].sender) << i;
+    EXPECT_EQ(streamed[i].receiver, expected[i].receiver) << i;
+    EXPECT_EQ(streamed[i].amount, expected[i].amount) << i;
+  }
+}
+
 TEST(Workload, DeterministicForSeed) {
   const graph::digraph g = graph::cycle_graph(5);
   const auto demand = uniform_demand(g, 5.0);
