@@ -8,9 +8,19 @@
 // BENCH_betweenness.json):
 //
 //   [{"n":..., "channels_start":..., "topology":"ws", "oracle":"greedy",
-//     "order":"round_robin", "pivots":16, "rounds":..., "moves":...,
-//     "evaluations":..., "converged":1, "final_shape":"other",
-//     "wall_ms":..., "evals_per_ms":...}, ...]
+//     "order":"round_robin", "pivots":16, "mode":"full", "rounds":...,
+//     "moves":..., "evaluations":..., "effective_sweeps":...,
+//     "pruned_candidates":..., "sweep_reduction":..., "converged":1,
+//     "final_shape":"other", "wall_ms":..., "evals_per_ms":...}, ...]
+//
+// Every configuration runs in BOTH provider modes (full, incremental) and
+// the records are emitted as adjacent pairs. The two runs must agree on
+// every observable — outcome, rounds, moves, logical evaluations, total
+// gain, final topology — and this binary EXITS NON-ZERO on any divergence,
+// so the bench doubles as the mode-equivalence gate at bench scale.
+// `effective_sweeps` counts single-source DAG constructions (the metric the
+// incremental mode exists to cut); `sweep_reduction` on incremental records
+// is full/incremental for the same configuration.
 //
 // Like bench_betweenness this binary needs no google-benchmark and is built
 // unconditionally; CI runs --smoke and checks the JSON is well-formed.
@@ -43,9 +53,13 @@ struct bench_record {
   std::string oracle;
   std::string order;
   std::size_t pivots = 0;
+  std::string mode;
   std::size_t rounds = 0;
   std::size_t moves = 0;
   std::uint64_t evaluations = 0;
+  std::uint64_t effective_sweeps = 0;
+  std::uint64_t pruned = 0;
+  double sweep_reduction = 1.0;
   bool converged = false;
   std::string final_shape;
   double wall_ms = 0.0;
@@ -94,8 +108,12 @@ void write_json(const std::string& path,
     os << "  {\"n\": " << r.n << ", \"channels_start\": " << r.channels_start
        << ", \"topology\": \"" << r.topology << "\", \"oracle\": \""
        << r.oracle << "\", \"order\": \"" << r.order
-       << "\", \"pivots\": " << r.pivots << ", \"rounds\": " << r.rounds
+       << "\", \"pivots\": " << r.pivots << ", \"mode\": \"" << r.mode
+       << "\", \"rounds\": " << r.rounds
        << ", \"moves\": " << r.moves << ", \"evaluations\": " << r.evaluations
+       << ", \"effective_sweeps\": " << r.effective_sweeps
+       << ", \"pruned_candidates\": " << r.pruned
+       << ", \"sweep_reduction\": " << r.sweep_reduction
        << ", \"converged\": " << (r.converged ? 1 : 0)
        << ", \"final_shape\": \"" << r.final_shape << "\""
        << ", \"host_hw_threads\": " << hardware
@@ -106,10 +124,31 @@ void write_json(const std::string& path,
   os << "]\n";
 }
 
+/// The two modes must produce identical dynamics; any drift is a
+/// correctness bug in the incremental path, not a perf regression.
+bool equal_runs(const arena::arena_result& a, const arena::arena_result& b) {
+  if (a.outcome != b.outcome || a.rounds != b.rounds ||
+      a.proposals != b.proposals || a.evaluations != b.evaluations ||
+      a.total_gain != b.total_gain || a.moves.size() != b.moves.size())
+    return false;
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    const topology::deviation& x = a.moves[i].dev;
+    const topology::deviation& y = b.moves[i].dev;
+    if (x.deviator != y.deviator || x.removed_peers != y.removed_peers ||
+        x.added_peers != y.added_peers ||
+        x.utility_before != y.utility_before ||
+        x.utility_after != y.utility_after)
+      return false;
+  }
+  return topology::topology_fingerprint(a.state.graph()) ==
+         topology::topology_fingerprint(b.state.graph());
+}
+
 int run(const bench_config& config) {
   std::vector<bench_record> records;
-  table t({"n", "channels", "oracle", "order", "pivots", "rounds", "moves",
-           "evaluations", "converged", "shape", "wall ms"});
+  table t({"n", "channels", "oracle", "mode", "rounds", "moves",
+           "evaluations", "sweeps", "pruned", "reduction", "shape",
+           "wall ms"});
 
   topology::game_params params;
   params.l = 1.5;
@@ -132,43 +171,66 @@ int run(const bench_config& config) {
       options.provider.pivots = 16;
       options.provider.seed = 42;
 
-      arena::arena_result result;
-      double best_ms = 0.0;
-      for (std::size_t r = 0; r < config.repeat; ++r) {
-        stopwatch sw;
-        result = arena::run_arena(start, params, options);
-        const double ms = sw.elapsed_ms();
-        if (r == 0 || ms < best_ms) best_ms = ms;
-      }
+      std::vector<arena::arena_result> results;
+      for (const arena::provider_mode mode :
+           {arena::provider_mode::full, arena::provider_mode::incremental}) {
+        options.provider.mode = mode;
+        arena::arena_result result;
+        double best_ms = 0.0;
+        for (std::size_t r = 0; r < config.repeat; ++r) {
+          stopwatch sw;
+          result = arena::run_arena(start, params, options);
+          const double ms = sw.elapsed_ms();
+          if (r == 0 || ms < best_ms) best_ms = ms;
+        }
 
-      bench_record rec;
-      rec.n = n;
-      rec.channels_start = start.edge_count() / 2;
-      rec.topology = "ws";
-      rec.oracle = std::string(arena::oracle_name(oracle));
-      rec.order = std::string(arena::order_name(options.order));
-      rec.pivots = options.provider.pivots;
-      rec.rounds = result.rounds;
-      rec.moves = result.moves.size();
-      rec.evaluations = result.evaluations;
-      rec.converged =
-          result.outcome == topology::dynamics_outcome::converged;
-      rec.final_shape = topology::classify_topology(result.state.graph());
-      rec.wall_ms = best_ms;
-      records.push_back(rec);
-      t.add_row({static_cast<long long>(n),
-                 static_cast<long long>(rec.channels_start), rec.oracle,
-                 rec.order, static_cast<long long>(rec.pivots),
-                 static_cast<long long>(rec.rounds),
-                 static_cast<long long>(rec.moves),
-                 static_cast<long long>(rec.evaluations),
-                 static_cast<long long>(rec.converged ? 1 : 0),
-                 rec.final_shape, rec.wall_ms});
+        bench_record rec;
+        rec.n = n;
+        rec.channels_start = start.edge_count() / 2;
+        rec.topology = "ws";
+        rec.oracle = std::string(arena::oracle_name(oracle));
+        rec.order = std::string(arena::order_name(options.order));
+        rec.pivots = options.provider.pivots;
+        rec.mode = std::string(arena::provider_mode_name(mode));
+        rec.rounds = result.rounds;
+        rec.moves = result.moves.size();
+        rec.evaluations = result.evaluations;
+        rec.effective_sweeps = result.sweeps.effective_sweeps();
+        rec.pruned = result.sweeps.pruned;
+        rec.converged =
+            result.outcome == topology::dynamics_outcome::converged;
+        rec.final_shape = topology::classify_topology(result.state.graph());
+        rec.wall_ms = best_ms;
+        if (mode == arena::provider_mode::incremental &&
+            rec.effective_sweeps > 0) {
+          rec.sweep_reduction =
+              static_cast<double>(records.back().effective_sweeps) /
+              static_cast<double>(rec.effective_sweeps);
+        }
+        records.push_back(rec);
+        t.add_row({static_cast<long long>(n),
+                   static_cast<long long>(rec.channels_start), rec.oracle,
+                   rec.mode, static_cast<long long>(rec.rounds),
+                   static_cast<long long>(rec.moves),
+                   static_cast<long long>(rec.evaluations),
+                   static_cast<long long>(rec.effective_sweeps),
+                   static_cast<long long>(rec.pruned), rec.sweep_reduction,
+                   rec.final_shape, rec.wall_ms});
+        results.push_back(std::move(result));
+      }
+      if (!equal_runs(results[0], results[1])) {
+        std::cerr << "bench_arena: FULL vs INCREMENTAL divergence at n=" << n
+                  << " oracle=" << arena::oracle_name(oracle)
+                  << " — the incremental mode must be bitwise-exact\n";
+        return 1;
+      }
     }
   }
 
   std::cout << "Arena best-response dynamics at n >> 8 (ws hosts, l=1.5; "
-            << "exact provider <= 96 nodes, 16-pivot sampled above)\n";
+            << "exact provider <= 96 nodes, 16-pivot sampled above;\n"
+            << "each configuration in both provider modes, "
+            << "equality enforced)\n";
   t.print(std::cout);
   write_json(config.json_path, records);
   std::cout << records.size() << " record(s) -> " << config.json_path << "\n";

@@ -145,6 +145,7 @@ arena_result run_arena(const graph::digraph& start,
     }
   }
   result.evaluations = provider.evaluations();
+  result.sweeps = provider.stats();
   return result;
 }
 

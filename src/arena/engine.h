@@ -75,7 +75,8 @@ struct arena_result {
   std::vector<arena_move> moves;     // applied, in order
   std::size_t proposals = 0;         // improving deviations proposed
   double total_gain = 0.0;           // sum of applied proposal gains
-  std::uint64_t evaluations = 0;     // provider utility evaluations
+  std::uint64_t evaluations = 0;     // provider utility evaluations (logical)
+  sweep_stats sweeps;                // physical SSSP sweep ledger
 };
 
 /// Runs the arena from `start` until convergence, a cycle, or the round

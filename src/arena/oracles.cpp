@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arena/incremental.h"
 #include "core/greedy.h"
 #include "util/enumeration.h"
 #include "util/error.h"
@@ -62,66 +63,6 @@ std::vector<graph::node_id> add_candidates(const strategy_state& state,
   return picked;
 }
 
-/// Scratch graph where `u`'s own channels and all candidate additions
-/// exist as DEACTIVATED edge pairs: evaluating a candidate own-set is two
-/// O(|set|) toggles around a provider call instead of a graph copy.
-class own_set_toggler {
- public:
-  own_set_toggler(const graph::digraph& g, graph::node_id u,
-                  const std::vector<graph::node_id>& own,
-                  const std::vector<graph::node_id>& adds)
-      : work_(g), u_(u) {
-    for (const graph::node_id peer : own) {
-      const graph::edge_id forward = work_.find_edge(u, peer);
-      const graph::edge_id reverse = work_.find_edge(peer, u);
-      LCG_EXPECTS(forward != graph::invalid_edge &&
-                  reverse != graph::invalid_edge);
-      work_.remove_edge(forward);
-      work_.remove_edge(reverse);
-      peers_.push_back(peer);
-      pairs_.emplace_back(forward, reverse);
-    }
-    for (const graph::node_id peer : adds) {
-      const graph::edge_id forward = work_.add_bidirectional(u, peer);
-      work_.remove_edge(forward);
-      work_.remove_edge(forward + 1);
-      peers_.push_back(peer);
-      pairs_.emplace_back(forward, forward + 1);
-    }
-  }
-
-  /// Utility of `u` with exactly the channels to `set` active.
-  double evaluate(const utility_provider& provider,
-                  const std::vector<graph::node_id>& set) {
-    toggle(set, /*on=*/true);
-    const double value = provider.evaluate(work_, u_).total;
-    toggle(set, /*on=*/false);
-    return value;
-  }
-
- private:
-  void toggle(const std::vector<graph::node_id>& set, bool on) {
-    for (const graph::node_id peer : set) {
-      const auto it = std::find(peers_.begin(), peers_.end(), peer);
-      LCG_EXPECTS(it != peers_.end());
-      const auto& [forward, reverse] =
-          pairs_[static_cast<std::size_t>(it - peers_.begin())];
-      if (on) {
-        work_.restore_edge(forward);
-        work_.restore_edge(reverse);
-      } else {
-        work_.remove_edge(forward);
-        work_.remove_edge(reverse);
-      }
-    }
-  }
-
-  graph::digraph work_;
-  graph::node_id u_;
-  std::vector<graph::node_id> peers_;
-  std::vector<std::pair<graph::edge_id, graph::edge_id>> pairs_;
-};
-
 /// removed = own \ chosen, added = chosen \ own (all inputs sorted).
 topology::deviation diff_deviation(graph::node_id u,
                                    const std::vector<graph::node_id>& own,
@@ -148,22 +89,26 @@ std::optional<topology::deviation> greedy_propose(
 
   std::vector<graph::node_id> candidates = own;
   candidates.insert(candidates.end(), adds.begin(), adds.end());
-  const double base = provider.evaluate(state.graph(), u).total;
+  // One evaluation seam for both provider modes (arena/incremental.h); the
+  // greedy engine compares candidates among each other rather than against
+  // a fixed threshold, so upper-bound pruning stays disabled here and the
+  // incremental path contributes shared-pivot DAG reuse only.
+  candidate_evaluator evaluator(provider, state.graph(), u, own, adds);
+  const double base = evaluator.base_value();
   if (candidates.empty()) return std::nullopt;
 
-  own_set_toggler toggler(state.graph(), u, own, adds);
   const core::objective_fn objective = [&](const core::strategy& s) {
     std::vector<graph::node_id> set;
     set.reserve(s.size());
     for (const core::action& a : s) set.push_back(a.peer);
-    return toggler.evaluate(provider, set);
+    return evaluator.evaluate(set);
   };
   const core::greedy_result rebuilt = core::greedy_fixed_lock(
       objective, candidates, /*lock=*/0.0, options.max_channels);
   // Owning no channels at all is a legal strategy (u may stay connected
   // through counterparties' channels); the greedy engine only reports
   // non-empty prefixes, so compare against the empty set explicitly.
-  const double empty_value = toggler.evaluate(provider, {});
+  const double empty_value = evaluator.evaluate({});
 
   std::vector<graph::node_id> chosen;
   double value = empty_value;
@@ -186,8 +131,8 @@ std::optional<topology::deviation> local_propose(
   const std::vector<graph::node_id>& own = state.owned(u);
   const std::vector<graph::node_id> adds =
       add_candidates(state, u, options, scores, stream);
-  const double base = provider.evaluate(state.graph(), u).total;
-  own_set_toggler toggler(state.graph(), u, own, adds);
+  candidate_evaluator evaluator(provider, state.graph(), u, own, adds);
+  const double base = evaluator.base_value();
 
   std::optional<topology::deviation> best;
   const std::size_t remove_cap = std::min(options.max_removed, own.size());
@@ -205,7 +150,14 @@ std::optional<topology::deviation> local_propose(
                   std::vector<graph::node_id> chosen = kept;
                   for (const std::size_t i : ad) chosen.push_back(adds[i]);
                   std::sort(chosen.begin(), chosen.end());
-                  const double value = toggler.evaluate(provider, chosen);
+                  // Acceptance is strict (> threshold), so the incremental
+                  // path may discard a candidate on its upper bound alone;
+                  // the returned bound then sits at or below the threshold
+                  // and both branches below stay false, exactly as the
+                  // true value would.
+                  evaluator.set_threshold(best ? base + best->gain()
+                                               : base + options.tolerance);
+                  const double value = evaluator.evaluate(chosen);
                   if (value > base + options.tolerance &&
                       (!best || value - base > best->gain())) {
                     best = diff_deviation(u, own, chosen, base, value);

@@ -14,35 +14,8 @@ namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
 
-/// Lazily materialised p_trans rows: the sampled backend only ever asks for
-/// its pivot sources (plus the evaluated node's own row for E_fees), so
-/// computing rows on demand keeps an evaluation at O(k * n log n) instead
-/// of the O(n^2 log n) full matrix.
-class lazy_rows {
- public:
-  lazy_rows(const graph::digraph& g, double s, dist::rank_basis basis)
-      : g_(g), s_(s), basis_(basis), rows_(g.node_count()),
-        ready_(g.node_count(), 0) {}
+}  // namespace
 
-  const std::vector<double>& row(graph::node_id u) const {
-    if (!ready_[u]) {
-      rows_[u] = dist::transaction_probabilities(g_, u, s_, basis_);
-      ready_[u] = 1;
-    }
-    return rows_[u];
-  }
-
- private:
-  const graph::digraph& g_;
-  double s_;
-  dist::rank_basis basis_;
-  mutable std::vector<std::vector<double>> rows_;
-  mutable std::vector<char> ready_;
-};
-
-/// E_fees of `u` given its p_trans row and BFS distances — the same
-/// intermediary counting as topology/game.cpp (a direct channel costs no
-/// fees; any positive-probability unreachable receiver makes fees +inf).
 double fees_of(const std::vector<double>& p_row,
                const std::vector<std::int32_t>& dist, graph::node_id u,
                double a) {
@@ -56,7 +29,22 @@ double fees_of(const std::vector<double>& p_row,
   return a * total;
 }
 
-}  // namespace
+provider_mode provider_mode_from_name(std::string_view name) {
+  if (name == "full") return provider_mode::full;
+  if (name == "incremental") return provider_mode::incremental;
+  throw precondition_error("unknown provider mode '" + std::string(name) +
+                           "' (expected full|incremental)");
+}
+
+std::string_view provider_mode_name(provider_mode mode) {
+  switch (mode) {
+    case provider_mode::full:
+      return "full";
+    case provider_mode::incremental:
+      return "incremental";
+  }
+  throw precondition_error("invalid provider_mode value");
+}
 
 utility_provider::utility_provider(topology::game_params params,
                                    provider_options options)
@@ -79,18 +67,36 @@ graph::betweenness_options utility_provider::backend_for(
   return backend;
 }
 
+namespace {
+
+/// Sources one computation sweeps: |population| for exact backends,
+/// min(pivots, |population|) for the sampled one (population excludes the
+/// skipped node, matching graph/betweenness.cpp's select_sources).
+std::uint64_t swept_sources(const graph::betweenness_options& options,
+                            std::size_t population) {
+  if (options.backend == graph::betweenness_backend::sampled &&
+      options.sample_pivots > 0 && options.sample_pivots < population) {
+    return options.sample_pivots;
+  }
+  return population;
+}
+
+}  // namespace
+
 topology::utility_breakdown utility_provider::evaluate(
     const graph::digraph& g, graph::node_id u) const {
   LCG_EXPECTS(g.has_node(u));
   ++evaluations_;
-  const lazy_rows rows(g, params_.s, params_.basis);
+  const graph::betweenness_options backend = backend_for(g.node_count());
+  stats_.full_sweeps += swept_sources(backend, g.node_count() - 1);
+  const lazy_prob_rows rows(g, params_.s, params_.basis);
   topology::utility_breakdown out;
   out.revenue =
       params_.b *
       graph::node_betweenness_of(
           g, u,
           [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
-          backend_for(g.node_count()));
+          backend);
   out.fees = fees_of(rows.row(u), graph::bfs_distances(g, u), u, params_.a);
   out.cost =
       params_.l * params_.cost_share * static_cast<double>(g.out_degree(u));
@@ -100,11 +106,13 @@ topology::utility_breakdown utility_provider::evaluate(
 
 std::vector<double> utility_provider::node_scores(
     const graph::digraph& g) const {
-  const lazy_rows rows(g, params_.s, params_.basis);
+  const graph::betweenness_options backend = backend_for(g.node_count());
+  stats_.full_sweeps += swept_sources(backend, g.node_count());
+  const lazy_prob_rows rows(g, params_.s, params_.basis);
   const graph::betweenness_result bw = graph::weighted_betweenness(
       g,
       [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
-      backend_for(g.node_count()));
+      backend);
   return bw.node;
 }
 

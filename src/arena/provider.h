@@ -8,9 +8,12 @@
 //   * n <= exact_threshold  -> the exact PARALLEL backend (bit-identical to
 //     serial for any thread budget, so runner byte-identity holds), and
 //   * n >  exact_threshold  -> the Brandes–Pich SAMPLED estimator with a
-//     fixed pivot-stream seed (Brandes & Pich 2007: k pivots, (n-1)/k
-//     rescale keeps the estimate unbiased), which turns each evaluation
-//     from O(n(n+m)) into O(k(n+m)).
+//     fixed pivot-stream seed (Brandes & Pich 2007: k pivots rescaled by
+//     population/k, which keeps the estimate unbiased). The population is
+//     all n nodes for whole-graph sweeps (n/k — the factor CHANGES.md's
+//     PR 2 entry describes) and the n - 1 sources != u for
+//     node_betweenness_of ((n-1)/k — the factor used here); the property
+//     harness pins both. Each evaluation drops from O(n(n+m)) to O(k(n+m)).
 //
 // p_trans rows are materialised lazily per evaluation: the sampled backend
 // touches only its pivot sources, so at 10^3+ nodes the O(n^2) probability
@@ -23,16 +26,47 @@
 #define LCG_ARENA_PROVIDER_H
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
+#include "dist/zipf.h"
 #include "graph/betweenness.h"
 #include "topology/game.h"
 
 namespace lcg::arena {
 
+struct base_dag_cache;  // arena/incremental.cpp
+
+/// The library-wide default for provider_options::exact_threshold — the one
+/// named constant scenarios reference instead of re-inventing magic numbers.
+/// NOT to be confused with scale/sampled_betweenness's `exact_threshold`
+/// grid parameter (default 4000): that one gates whether an exact REFERENCE
+/// sweep is feasible for error measurement, a deliberately different knob
+/// (runner/scenarios.cpp documents the distinction at both sites).
+inline constexpr std::size_t default_exact_threshold = 192;
+
+/// How evaluate() runs. Both modes return BIT-IDENTICAL results — the
+/// incremental path is an evaluation-order optimisation, never an
+/// approximation (tests pin utilities and whole arena runs byte-equal).
+///
+///  * full        — every evaluation sweeps all plan sources from scratch.
+///  * incremental — oracle activations open an arena::toggle_session that
+///    caches the base graph's per-source DAGs once, re-sweeps only sources
+///    the candidate's edge toggles can affect (graph::toggle_affects_source)
+///    and prunes candidates whose utility upper bound cannot beat the
+///    incumbent (DESIGN.md §8). Falls back to full sweeps per source
+///    whenever the predicate says the DAG may change.
+enum class provider_mode { full, incremental };
+
+/// Parses "full" / "incremental"; throws precondition_error otherwise
+/// (scenario and CLI parameter surface).
+[[nodiscard]] provider_mode provider_mode_from_name(std::string_view name);
+[[nodiscard]] std::string_view provider_mode_name(provider_mode mode);
+
 struct provider_options {
   /// Largest node count still served by the exact parallel backend.
-  std::size_t exact_threshold = 192;
+  std::size_t exact_threshold = default_exact_threshold;
   /// Pivot count of the sampled backend above the threshold.
   std::size_t pivots = 32;
   /// Worker threads for the exact parallel / sampled backends (never
@@ -40,7 +74,63 @@ struct provider_options {
   std::size_t threads = 1;
   /// Seed of the sampled backend's pivot stream (splitmix64-expanded).
   std::uint64_t seed = 0;
+  /// Evaluation path; results are bitwise mode-independent.
+  provider_mode mode = provider_mode::full;
 };
+
+/// The arena's sweep cost ledger: how many single-source shortest-path DAG
+/// constructions betweenness work actually performed ("effective source
+/// sweeps" — the metric BENCH_arena.json tracks), split by origin. Cheap
+/// O(n + m) accumulations over cached DAGs and the auxiliary plain BFS
+/// passes of the bound machinery are tallied separately — they are not
+/// sweeps.
+struct sweep_stats {
+  std::uint64_t full_sweeps = 0;     ///< full-mode per-evaluation sweeps
+  std::uint64_t forest = 0;          ///< session base-forest constructions
+  std::uint64_t resweeps = 0;        ///< affected-source re-sweeps
+  std::uint64_t accumulations = 0;   ///< cached-DAG reuses (no BFS)
+  std::uint64_t support_bfs = 0;     ///< endpoint BFS for bounds/fees
+  std::uint64_t pruned = 0;          ///< candidates discarded bound-only
+  std::uint64_t truncated = 0;       ///< exact phases cut short mid-merge
+  [[nodiscard]] std::uint64_t effective_sweeps() const noexcept {
+    return full_sweeps + forest + resweeps;
+  }
+};
+
+/// Lazily materialised p_trans rows: the sampled backend only ever asks for
+/// its pivot sources (plus the evaluated node's own row for E_fees), so
+/// computing rows on demand keeps an evaluation at O(k * n log n) instead
+/// of the O(n^2 log n) full matrix. Shared with arena/incremental.cpp so
+/// both evaluation paths materialise byte-identical rows.
+class lazy_prob_rows {
+ public:
+  lazy_prob_rows(const graph::digraph& g, double s, dist::rank_basis basis)
+      : g_(g), s_(s), basis_(basis), rows_(g.node_count()),
+        ready_(g.node_count(), 0) {}
+
+  const std::vector<double>& row(graph::node_id u) const {
+    if (!ready_[u]) {
+      rows_[u] = dist::transaction_probabilities(g_, u, s_, basis_);
+      ready_[u] = 1;
+    }
+    return rows_[u];
+  }
+
+ private:
+  const graph::digraph& g_;
+  double s_;
+  dist::rank_basis basis_;
+  mutable std::vector<std::vector<double>> rows_;
+  mutable std::vector<char> ready_;
+};
+
+/// E_fees of `u` given its p_trans row and BFS distances — the same
+/// intermediary counting as topology/game.cpp (a direct channel costs no
+/// fees; any positive-probability unreachable receiver makes fees +inf).
+/// Shared by both evaluation paths for bitwise-identical fee terms.
+[[nodiscard]] double fees_of(const std::vector<double>& p_row,
+                             const std::vector<std::int32_t>& dist,
+                             graph::node_id u, double a);
 
 class utility_provider {
  public:
@@ -68,15 +158,38 @@ class utility_provider {
   /// backend rules) — the candidate-ranking signal of the move oracles.
   [[nodiscard]] std::vector<double> node_scores(const graph::digraph& g) const;
 
-  /// Utility evaluations consumed so far (the arena's cost ledger).
+  /// Utility evaluations consumed so far (the arena's cost ledger). This is
+  /// a LOGICAL counter: the incremental mode's pruned or cache-served
+  /// candidates still count one evaluation each, so the column stays
+  /// byte-identical between modes.
   [[nodiscard]] std::uint64_t evaluations() const noexcept {
     return evaluations_;
+  }
+
+  /// Physical sweep ledger (see sweep_stats). Grows in both modes.
+  [[nodiscard]] const sweep_stats& stats() const noexcept { return stats_; }
+
+  /// Hooks for arena/incremental.cpp (the toggle_session mutates the shared
+  /// ledgers through its provider reference).
+  void count_logical_evaluation() const noexcept { ++evaluations_; }
+  [[nodiscard]] sweep_stats& mutable_stats() const noexcept { return stats_; }
+
+  /// Shared base-graph DAG cache for the incremental mode (defined in
+  /// arena/incremental.cpp): a base SSSP DAG depends only on the graph, not
+  /// on the evaluated node, so consecutive activations over an unchanged
+  /// graph reuse each other's forests. Keyed on the exact active-edge list —
+  /// never a hash — so a stale hit is impossible.
+  [[nodiscard]] std::shared_ptr<base_dag_cache>& mutable_dag_cache()
+      const noexcept {
+    return dag_cache_;
   }
 
  private:
   topology::game_params params_;
   provider_options options_;
   mutable std::uint64_t evaluations_ = 0;
+  mutable sweep_stats stats_;
+  mutable std::shared_ptr<base_dag_cache> dag_cache_;
 };
 
 }  // namespace lcg::arena

@@ -25,15 +25,14 @@ struct source_contribution {
   std::vector<std::pair<edge_id, double>> edge;
 };
 
-/// Runs the Brandes backward accumulation for one source into `out`.
-/// `want_edges` == false skips the per-edge recording (node-only queries).
-void compute_contribution(const digraph& g, node_id s, const pair_weight_fn& w,
-                          bool want_edges, source_contribution& out) {
-  out.source = s;
-  out.delta.assign(g.node_count(), 0.0);
-  out.edge.clear();
-  const sp_dag dag = shortest_path_dag(g, s);
-  std::vector<double>& delta = out.delta;
+/// The Brandes backward accumulation over a (possibly cached) DAG: the ONE
+/// place the per-source float operation sequence lives. Both the full-sweep
+/// engine (compute_contribution) and the public source_dependencies entry
+/// run exactly this, which is what makes DAG-reuse bitwise-equal.
+void accumulate_over_dag(const digraph& g, const sp_dag& dag, node_id s,
+                         const pair_weight_fn& w,
+                         std::vector<std::pair<edge_id, double>>* edge_out,
+                         std::vector<double>& delta) {
   // Process vertices in order of non-increasing distance from s.
   for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
     const node_id v = *it;
@@ -44,11 +43,23 @@ void compute_contribution(const digraph& g, node_id s, const pair_weight_fn& w,
       const double contribution = dag.sigma[u] / dag.sigma[v] * through;
       // Each edge id appears in exactly one pred list at most once, so this
       // is the single addition edge e receives from source s.
-      if (want_edges) out.edge.emplace_back(e, contribution);
+      if (edge_out) edge_out->emplace_back(e, contribution);
       delta[u] += contribution;
     }
   }
   delta[s] = 0.0;  // dependency of a source on itself is not betweenness
+}
+
+/// Runs the Brandes backward accumulation for one source into `out`.
+/// `want_edges` == false skips the per-edge recording (node-only queries).
+void compute_contribution(const digraph& g, node_id s, const pair_weight_fn& w,
+                          bool want_edges, source_contribution& out) {
+  out.source = s;
+  out.delta.assign(g.node_count(), 0.0);
+  out.edge.clear();
+  const sp_dag dag = shortest_path_dag(g, s);
+  accumulate_over_dag(g, dag, s, w, want_edges ? &out.edge : nullptr,
+                      out.delta);
 }
 
 /// Adds `scale * contribution` into the accumulators. Per element this is
@@ -251,6 +262,46 @@ double node_betweenness_of(const digraph& g, node_id u,
   run_sweeps(g, sources, w, scale, effective_threads(options, sources.size()),
              &node_acc, nullptr);
   return node_acc[u];
+}
+
+source_plan betweenness_source_plan(std::size_t n,
+                                    const betweenness_options& options,
+                                    node_id skip) {
+  auto [sources, scale] = select_sources(n, options, skip);
+  return source_plan{std::move(sources), scale};
+}
+
+void source_dependencies(const digraph& g, const sp_dag& dag, node_id s,
+                         const pair_weight_fn& w, std::vector<double>& delta) {
+  delta.assign(g.node_count(), 0.0);
+  accumulate_over_dag(g, dag, s, w, nullptr, delta);
+}
+
+bool toggle_affects_source(const std::vector<std::int32_t>& dist,
+                           const edge_toggle& t) {
+  const std::int32_t da = dist[t.src];
+  const std::int32_t db = dist[t.dst];
+  if (da == unreachable) return false;  // tail never reached: edge unscanned
+  if (t.added) return db == unreachable || da + 1 <= db;
+  return db == da + 1;  // removal: exactly the pred[dst] membership test
+}
+
+std::vector<double> through_fractions(const digraph& g, const sp_dag& dag,
+                                      node_id u) {
+  std::vector<double> frac(g.node_count(), 0.0);
+  if (dag.dist[u] == unreachable) return frac;
+  std::vector<double> psi(g.node_count(), 0.0);  // shortest paths via u
+  psi[u] = dag.sigma[u];
+  // Forward pass in non-decreasing distance: every pred of v is strictly
+  // closer, so its psi is final when v is processed.
+  for (const node_id v : dag.order) {
+    if (v == u || dag.dist[v] <= dag.dist[u]) continue;
+    double via = 0.0;
+    for (const edge_id e : dag.pred[v]) via += psi[g.edge_at(e).src];
+    psi[v] = via;
+    if (via > 0.0) frac[v] = via / dag.sigma[v];
+  }
+  return frac;
 }
 
 betweenness_result weighted_betweenness_naive(const digraph& g,

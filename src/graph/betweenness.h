@@ -137,6 +137,71 @@ struct betweenness_options {
 [[nodiscard]] betweenness_result weighted_betweenness_naive(
     const digraph& g, const pair_weight_fn& w);
 
+// --- Reusable per-source sweep state (the incremental provider's seam) ----
+//
+// The arena's toggle-aware evaluation path (arena/incremental.h) re-sweeps
+// only the sources whose shortest-path DAG a candidate edge toggle can
+// affect; for every other source it reuses the base graph's cached sp_dag
+// and re-runs ONLY the backward accumulation below. The three helpers expose
+// exactly the internals that make that bitwise-equal to a full sweep.
+
+struct sp_dag;  // graph/traversal.h
+
+/// The sources one betweenness computation sweeps, plus the unbiased
+/// rescale applied to each contribution: the full ascending id range with
+/// scale 1 for exact backends, a sorted pivot sample with scale
+/// |population|/k for the sampled backend (population = n, or n - 1 when
+/// `skip` is a valid node — the node_betweenness_of convention). This is
+/// the exact source selection every entry point above uses.
+struct source_plan {
+  std::vector<node_id> sources;
+  double scale = 1.0;
+};
+[[nodiscard]] source_plan betweenness_source_plan(
+    std::size_t n, const betweenness_options& options,
+    node_id skip = invalid_node);
+
+/// Brandes backward accumulation for source `s` over a PRECOMPUTED DAG
+/// (`dag` must be shortest_path_dag(g, s)). Writes the per-node dependency
+/// into `delta` (resized/zeroed; delta[s] forced to 0). The float operation
+/// sequence is IDENTICAL to the internal sweep engine's, so feeding a
+/// cached DAG whose bits match shortest_path_dag(g, s) reproduces the full
+/// sweep's delta bit for bit.
+void source_dependencies(const digraph& g, const sp_dag& dag, node_id s,
+                         const pair_weight_fn& w, std::vector<double>& delta);
+
+/// One directed edge flipped between active and inactive.
+struct edge_toggle {
+  node_id src = invalid_node;
+  node_id dst = invalid_node;
+  bool added = true;  // true: edge becomes active; false: it goes inactive
+};
+
+/// Whether applying `t` can change shortest_path_dag(g, s) AT ALL, judged
+/// from the base DAG's distance vector (`dist`). Sound and exact:
+///  * added edge (a, b): only matters when a is reachable and the new arc
+///    could create a shortest path into b, i.e. dist[b] == unreachable or
+///    dist[a] + 1 <= dist[b]. Otherwise BFS scans-and-rejects it (b already
+///    settled strictly closer), leaving dist/sigma/pred/order bit-identical.
+///  * removed edge (a, b): only matters when it sits on a shortest path,
+///    i.e. a reachable and dist[b] == dist[a] + 1 (exactly the membership
+///    condition for pred[b]). Otherwise BFS never used it.
+/// A FALSE verdict guarantees the toggled graph's sp_dag from s equals the
+/// base one bitwise (new edge slots append to adjacency lists, so traversal
+/// order of the surviving edges is unchanged); tests pin this on the
+/// property-test corpus. For a channel, test both orientations and OR.
+[[nodiscard]] bool toggle_affects_source(const std::vector<std::int32_t>& dist,
+                                         const edge_toggle& t);
+
+/// frac[t] = sigma_st(u) / sigma_st — the fraction of shortest s->t paths
+/// running THROUGH u (frac[s] = frac[u] = 0; unreachable t: 0), computed by
+/// one forward pass over the cached DAG. Weight-independent, so one vector
+/// per (source, u) prices dot-product bounds for ANY candidate weight row:
+/// delta_s(u) == sum_t w(s, t) * frac[t] in exact arithmetic.
+[[nodiscard]] std::vector<double> through_fractions(const digraph& g,
+                                                    const sp_dag& dag,
+                                                    node_id u);
+
 }  // namespace lcg::graph
 
 #endif  // LCG_GRAPH_BETWEENNESS_H

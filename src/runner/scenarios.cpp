@@ -646,6 +646,11 @@ arena::arena_options arena_options_from(const scenario_context& ctx,
       ctx.get_int("exact_threshold", default_threshold));
   options.provider.pivots = static_cast<std::size_t>(
       std::max(1LL, ctx.get_int("pivots", 32)));
+  // full | incremental — bitwise-identical results either way (enforced by
+  // tests/arena_incremental_test.cpp and the CI byte-diff step); the knob
+  // exists so every scenario doubles as an equivalence fixture.
+  options.provider.mode =
+      arena::provider_mode_from_name(ctx.get_string("mode", "full"));
   options.provider.threads = ctx.threads();
   options.provider.seed = ctx.seed() ^ 0x7c63f8d1905bb7a3ULL;
   options.seed = ctx.seed() ^ 0x243f6a8885a308d3ULL;
@@ -667,7 +672,8 @@ std::vector<result_row> run_arena_best_response(const scenario_context& ctx) {
   const std::string topo_name = ctx.get_string("topology", "ws");
   const auto n = static_cast<std::size_t>(ctx.get_int("n", 24));
   const topology::game_params p = game_params_from(ctx);
-  const arena::arena_options options = arena_options_from(ctx, 96);
+  const arena::arena_options options = arena_options_from(
+      ctx, static_cast<long long>(arena::default_exact_threshold));
 
   rng gen = ctx.make_rng();
   const graph::digraph start = make_topology(topo_name, n, gen);
@@ -707,7 +713,8 @@ std::vector<result_row> run_arena_oracle_duel(const scenario_context& ctx) {
 
   std::vector<result_row> rows;
   const auto duel = [&](arena::oracle_kind kind) {
-    arena::arena_options options = arena_options_from(ctx, 96);
+    arena::arena_options options = arena_options_from(
+        ctx, static_cast<long long>(arena::default_exact_threshold));
     options.oracle = kind;
     const arena::arena_result res = arena::run_arena(start, p, options);
     const graph::digraph& final_graph = res.state.graph();
@@ -770,6 +777,10 @@ std::vector<result_row> run_sampled_betweenness(const scenario_context& ctx) {
   const auto n = static_cast<std::size_t>(ctx.get_int("n", 2000));
   // Exact reference is O(n * (n + m)); above this threshold only the
   // sampled estimate runs and the error columns report -1 ("not measured").
+  // Deliberately NOT arena::default_exact_threshold: that constant picks
+  // the provider backend inside hot oracle loops, while this one gates a
+  // once-per-run feasibility check for the error measurement, which stays
+  // affordable far beyond 192 nodes.
   const auto exact_threshold =
       static_cast<std::size_t>(ctx.get_int("exact_threshold", 4000));
 
@@ -1165,9 +1176,10 @@ std::size_t register_builtin_scenarios() {
            "large-population arena: oracle best response, welfare vs refs",
            {{"topology", strings({"path", "ws"})},
             {"n", ints({16, 40})},
-            {"order", strings({"round_robin", "random"})}},
+            {"order", strings({"round_robin", "random"})},
+            {"mode", strings({"full", "incremental"})}},
            run_arena_best_response,
-           "1",
+           "2",
            {"outcome", "rounds", "moves", "proposals", "total_gain",
             "evaluations", "channels_start", "channels_final", "final_shape",
             "max_degree", "welfare", "welfare_star", "welfare_best_ref",
@@ -1176,7 +1188,7 @@ std::size_t register_builtin_scenarios() {
            "greedy vs local (vs brute at n<=8) oracles on one start",
            {{"topology", strings({"path", "er"})}, {"n", ints({6, 20})}},
            run_arena_oracle_duel,
-           "1",
+           "2",
            {"oracle", "outcome", "rounds", "moves", "evaluations",
             "channels_final", "final_shape", "welfare"}});
     r.add({"arena/scale_profile",
@@ -1186,9 +1198,10 @@ std::size_t register_builtin_scenarios() {
             {"pivots", ints({16})},
             {"candidate_k", ints({3})},
             {"candidate_random", ints({0})},
-            {"max_channels", ints({3})}},
+            {"max_channels", ints({3})},
+            {"mode", strings({"full", "incremental"})}},
            run_arena_scale_profile,
-           "1",
+           "2",
            {"nodes", "outcome", "rounds", "moves", "evaluations",
             "evals_per_player", "channels_start", "channels_final",
             "final_shape", "max_degree", "welfare"}});

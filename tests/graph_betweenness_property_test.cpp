@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "graph/traversal.h"
 #include "util/rng.h"
 
 namespace lcg::graph {
@@ -410,6 +411,207 @@ TEST(BetweennessInvariant, WorkerExceptionPropagatesFromParallelBackend) {
   options.sample_pivots = 0;  // exact: every source swept
   EXPECT_THROW((void)weighted_betweenness(g, throwing_w, options),
                precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Toggle-aware incremental contract (the graph-side half of
+// arena/incremental.cpp): random channel-toggle sequences over the corpus.
+// toggle_affects_source must pin every source it clears — the toggled
+// graph's DAG bitwise equal to the base one — and the cached-DAG evaluation
+// plan must reproduce a fresh full evaluation exactly, for both the exact
+// and the sampled source plans.
+// ---------------------------------------------------------------------------
+
+/// Undirected channels of g (both directions active), as (a < b) pairs.
+std::vector<std::pair<node_id, node_id>> channel_list(const digraph& g) {
+  std::vector<std::pair<node_id, node_id>> out;
+  for (node_id a = 0; a < g.node_count(); ++a) {
+    for (node_id b = a + 1; b < g.node_count(); ++b) {
+      if (g.find_edge(a, b) != invalid_edge &&
+          g.find_edge(b, a) != invalid_edge) {
+        out.emplace_back(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+/// Applies one channel toggle and returns the pair of directed edge_toggles
+/// the affected-source predicate sees. Additions append fresh slots (the
+/// slot-order property the bitwise contract relies on); removals deactivate
+/// both directions in place.
+std::vector<edge_toggle> apply_channel_toggle(digraph& g, node_id a, node_id b,
+                                              bool add) {
+  if (add) {
+    g.add_bidirectional(a, b);
+  } else {
+    const edge_id f = g.find_edge(a, b);
+    const edge_id r = g.find_edge(b, a);
+    g.remove_edge(f);
+    g.remove_edge(r);
+  }
+  return {{a, b, add}, {b, a, add}};
+}
+
+TEST(BetweennessToggle, UnaffectedSourceDagsAreBitwiseStable) {
+  for (const corpus_case& c : build_corpus()) {
+    const std::size_t n = c.g.node_count();
+    if (n < 5) continue;
+    digraph g = c.g;
+    rng gen(0xf005ba11ULL + n);
+    for (std::size_t step = 0; step < 4; ++step) {
+      // Base DAGs of the CURRENT graph, then one random channel toggle —
+      // removal of an existing channel or addition of a missing one.
+      std::vector<sp_dag> base;
+      base.reserve(n);
+      for (node_id s = 0; s < n; ++s) base.push_back(shortest_path_dag(g, s));
+
+      const std::vector<std::pair<node_id, node_id>> channels =
+          channel_list(g);
+      const bool add = channels.empty() || gen.uniform01() < 0.5;
+      node_id a = 0, b = 0;
+      if (add) {
+        // A not-currently-connected pair (complete graphs fall back to a
+        // parallel channel, which the predicate must also classify).
+        for (std::size_t tries = 0; tries < 32 && a == b; ++tries) {
+          const auto x = static_cast<node_id>(
+              gen.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          const auto y = static_cast<node_id>(
+              gen.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          if (x != y && g.find_edge(x, y) == invalid_edge) {
+            a = x;
+            b = y;
+            break;
+          }
+        }
+        if (a == b) continue;  // could not find an addable pair
+      } else {
+        const auto pick = static_cast<std::size_t>(gen.uniform_int(
+            0, static_cast<std::int64_t>(channels.size()) - 1));
+        a = channels[pick].first;
+        b = channels[pick].second;
+      }
+      const std::vector<edge_toggle> toggles =
+          apply_channel_toggle(g, a, b, add);
+
+      for (node_id s = 0; s < n; ++s) {
+        bool affected = false;
+        for (const edge_toggle& t : toggles) {
+          affected = affected || toggle_affects_source(base[s].dist, t);
+        }
+        if (affected) continue;
+        const sp_dag fresh = shortest_path_dag(g, s);
+        const std::string ctx = c.name + " step=" + std::to_string(step) +
+                                " s=" + std::to_string(s);
+        EXPECT_EQ(fresh.dist, base[s].dist) << ctx;
+        EXPECT_EQ(fresh.sigma, base[s].sigma) << ctx;
+        EXPECT_EQ(fresh.pred, base[s].pred) << ctx;
+        EXPECT_EQ(fresh.order, base[s].order) << ctx;
+      }
+      // The sequence continues from the toggled graph.
+    }
+  }
+}
+
+TEST(BetweennessToggle, CachedPlanEvaluationMatchesFullExactAndSampled) {
+  // The arena's evaluation recipe, replayed against the public engine:
+  // classify plan sources with the base forest, re-sweep only the affected
+  // ones on the toggled graph, accumulate everything in ascending source
+  // order — the result must be BITWISE equal to node_betweenness_of on the
+  // toggled graph, under the exact plan and a genuinely sampled one.
+  std::size_t exercised = 0;
+  for (const corpus_case& c : build_corpus()) {
+    const std::size_t n = c.g.node_count();
+    if (n < 6 || n > 13) continue;
+    rng gen(0xdecade + n);
+    const auto u = static_cast<node_id>(
+        gen.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+
+    betweenness_options exact;  // serial, every source
+    betweenness_options sampled;
+    sampled.backend = betweenness_backend::sampled;
+    sampled.sample_pivots = n / 2;
+    sampled.rng_seed = 0xcafe + n;
+    for (const betweenness_options& options : {exact, sampled}) {
+      digraph g = c.g;
+      const source_plan plan = betweenness_source_plan(n, options, u);
+      std::vector<sp_dag> base;
+      base.reserve(plan.sources.size());
+      for (const node_id s : plan.sources) {
+        base.push_back(shortest_path_dag(g, s));
+      }
+
+      // Toggle a u-incident channel pattern, like an oracle candidate:
+      // remove one existing u-channel (if any) and add one new u-channel.
+      std::vector<edge_toggle> toggles;
+      for (node_id v = 0; v < n; ++v) {
+        if (v != u && g.find_edge(u, v) != invalid_edge) {
+          const std::vector<edge_toggle> t =
+              apply_channel_toggle(g, u, v, /*add=*/false);
+          toggles.insert(toggles.end(), t.begin(), t.end());
+          break;
+        }
+      }
+      for (node_id v = 0; v < n; ++v) {
+        if (v != u && g.find_edge(u, v) == invalid_edge) {
+          const std::vector<edge_toggle> t =
+              apply_channel_toggle(g, u, v, /*add=*/true);
+          toggles.insert(toggles.end(), t.begin(), t.end());
+          break;
+        }
+      }
+      if (toggles.empty()) continue;
+
+      double acc = 0.0;
+      std::vector<double> delta;
+      for (std::size_t i = 0; i < plan.sources.size(); ++i) {
+        const node_id s = plan.sources[i];
+        bool affected = false;
+        for (const edge_toggle& t : toggles) {
+          affected = affected || toggle_affects_source(base[i].dist, t);
+        }
+        if (affected) {
+          const sp_dag fresh = shortest_path_dag(g, s);
+          source_dependencies(g, fresh, s, c.w, delta);
+        } else {
+          source_dependencies(g, base[i], s, c.w, delta);
+        }
+        acc += plan.scale * delta[u];
+      }
+      EXPECT_EQ(acc, node_betweenness_of(g, u, c.w, options))
+          << c.name << " u=" << u << " backend "
+          << betweenness_backend_name(options.backend);
+      ++exercised;
+    }
+  }
+  EXPECT_GE(exercised, 20u);
+}
+
+TEST(BetweennessToggle, ThroughFractionsMatchSigmaRatios) {
+  // frac[t] must equal sigma_st(u) / sigma_st — computed independently via
+  // the product form sigma_su * sigma_ut on distance-tight triples.
+  for (const corpus_case& c : build_corpus()) {
+    const std::size_t n = c.g.node_count();
+    if (n < 5 || n > 12) continue;
+    for (node_id s = 0; s < n; s += 2) {
+      const sp_dag dag_s = shortest_path_dag(c.g, s);
+      for (node_id u = 1; u < n; u += 3) {
+        const std::vector<double> frac = through_fractions(c.g, dag_s, u);
+        const sp_dag dag_u = shortest_path_dag(c.g, u);
+        for (node_id t = 0; t < n; ++t) {
+          if (t == u) continue;
+          double want = 0.0;
+          if (dag_s.dist[t] != unreachable && dag_s.dist[u] != unreachable &&
+              dag_u.dist[t] != unreachable &&
+              dag_s.dist[u] + dag_u.dist[t] == dag_s.dist[t]) {
+            want = dag_s.sigma[u] * dag_u.sigma[t] / dag_s.sigma[t];
+          }
+          EXPECT_NEAR(frac[t], want, 1e-12)
+              << c.name << " s=" << s << " u=" << u << " t=" << t;
+        }
+      }
+    }
+  }
 }
 
 TEST(BetweennessInvariant, BackendNamesRoundTrip) {

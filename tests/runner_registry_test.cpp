@@ -138,6 +138,30 @@ TEST(Grid, SeedsAreDistinctAcrossJobsAndStableAcrossCalls) {
     EXPECT_NE(a[i].seed, c[i].seed);
 }
 
+TEST(Grid, ModeAxisIsSeedNeutral) {
+  // "mode" selects an evaluation path, not an experiment: points differing
+  // only in mode share a seed (the identity CI's cross-mode byte-diff
+  // stands on), and adding the axis must not move any other point's seed.
+  scenario sc = make_scenario("seeded");
+  param_grid plain;
+  plain.sweep("n", {value(1LL), value(2LL)});
+  param_grid with_mode = plain;
+  with_mode.sweep("mode", {value(std::string("full")),
+                           value(std::string("incremental"))});
+
+  const std::vector<job> base = expand_jobs(sc, plain, 1, 42);
+  const std::vector<job> paired = expand_jobs(sc, with_mode, 1, 42);
+  ASSERT_EQ(base.size(), 2u);
+  ASSERT_EQ(paired.size(), 4u);
+  for (std::size_t p = 0; p < base.size(); ++p) {
+    EXPECT_EQ(paired[2 * p].seed, base[p].seed);
+    EXPECT_EQ(paired[2 * p + 1].seed, base[p].seed);
+    EXPECT_EQ(std::get<std::string>(paired[2 * p].params.at("mode")), "full");
+    EXPECT_EQ(std::get<std::string>(paired[2 * p + 1].params.at("mode")),
+              "incremental");
+  }
+}
+
 TEST(Context, TypedParameterAccess) {
   param_map params;
   params["n"] = value(5LL);

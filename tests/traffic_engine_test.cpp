@@ -373,5 +373,50 @@ TEST(RetryPolicy, DecisionTableAndNameRoundTrip) {
   EXPECT_FALSE(decide_retry(p, fail_reason::timed_out, 1).retry);
 }
 
+TEST(RetryPolicy, BackoffShiftBoundaries) {
+  // Regression pins for the `1ULL << min(attempts_done - 1, 30)` shift: the
+  // very first retry waits exactly backoff_base, the exponent saturates at
+  // 30 (no undefined 64-bit overflow however large max_retries is), the cap
+  // clamps from the first attempt it binds, and the max_retries cut-off
+  // rejects exactly once — attempts_done == max_retries retries,
+  // max_retries + 1 does not.
+  retry_policy p;
+  p.kind = retry_kind::backoff;
+  p.backoff_base = 0.25;
+  p.backoff_cap = 1e12;
+  p.max_retries = 100;  // far past the shift saturation point
+
+  // attempts_done == 1: delay is backoff_base exactly (shift of zero).
+  EXPECT_TRUE(decide_retry(p, fail_reason::lock_fail, 1).retry);
+  EXPECT_EQ(decide_retry(p, fail_reason::lock_fail, 1).delay, 0.25);
+
+  // The exponent clamps at 30: attempts 31, 32 and 90 all wait base * 2^30.
+  const double saturated = 0.25 * static_cast<double>(1ULL << 30);
+  EXPECT_EQ(decide_retry(p, fail_reason::no_route, 31).delay, saturated);
+  EXPECT_EQ(decide_retry(p, fail_reason::no_route, 32).delay, saturated);
+  EXPECT_EQ(decide_retry(p, fail_reason::no_route, 90).delay, saturated);
+
+  // Cap boundary: binds exactly when base * 2^(a-1) crosses it.
+  p.backoff_cap = 2.0;
+  EXPECT_EQ(decide_retry(p, fail_reason::lock_fail, 3).delay, 1.0);
+  EXPECT_EQ(decide_retry(p, fail_reason::lock_fail, 4).delay, 2.0);
+  EXPECT_EQ(decide_retry(p, fail_reason::lock_fail, 5).delay, 2.0);
+  EXPECT_EQ(decide_retry(p, fail_reason::lock_fail, 64).delay, 2.0);
+
+  // max_retries boundary: the check is attempts_done > max_retries, so the
+  // decision flips between max_retries and max_retries + 1 — and the
+  // rejected attempt reports no delay.
+  p.max_retries = 7;
+  EXPECT_TRUE(decide_retry(p, fail_reason::no_route, 7).retry);
+  EXPECT_FALSE(decide_retry(p, fail_reason::no_route, 8).retry);
+  EXPECT_EQ(decide_retry(p, fail_reason::no_route, 8).delay, 0.0);
+
+  // max_retries == 0 degenerates to "never retry" for every policy kind.
+  p.max_retries = 0;
+  EXPECT_FALSE(decide_retry(p, fail_reason::lock_fail, 1).retry);
+  p.kind = retry_kind::exclude;
+  EXPECT_FALSE(decide_retry(p, fail_reason::lock_fail, 1).retry);
+}
+
 }  // namespace
 }  // namespace lcg::traffic
