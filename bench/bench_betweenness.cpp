@@ -13,11 +13,16 @@
 // the comparison to BENCH_betweenness.json so the performance trajectory is
 // tracked across PRs:
 //
-//   [{"n":..., "edges":..., "backend":"parallel", "threads":8, "pivots":0,
-//     "wall_ms":..., "speedup_vs_serial":..., "max_rel_error":...}, ...]
+//   [{"n":..., "edges":..., "backend":"parallel", "graph":"csr",
+//     "threads":8, "pivots":0, "wall_ms":..., "speedup_vs_serial":...,
+//     "max_rel_error":...}, ...]
 //
+// Every configuration runs PAIRED on both graph representations — the
+// mutable adjacency-list digraph ("adjacency") and the frozen flat CSR view
+// ("csr", graph/csr.h) — so the flat-array win is tracked per backend.
 // Exactness is enforced, not just reported: any parallel result that is not
-// bit-identical to serial aborts with exit code 1.
+// bit-identical to serial, and any csr result that is not bit-identical to
+// its adjacency twin, aborts with exit code 1.
 //
 //   bench_betweenness [--smoke] [--json PATH] [--sizes n1,n2,...]
 //                     [--threads t1,t2,...] [--repeat R]
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "graph/betweenness.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -47,6 +53,7 @@ struct bench_record {
   std::size_t n = 0;
   std::size_t edges = 0;
   std::string backend;
+  std::string graph = "adjacency";  // "adjacency" | "csr"
   std::size_t threads = 1;
   std::size_t pivots = 0;
   double wall_ms = 0.0;
@@ -119,8 +126,8 @@ void write_json(const std::string& path,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const bench_record& r = records[i];
     os << "  {\"n\": " << r.n << ", \"edges\": " << r.edges
-       << ", \"backend\": \"" << r.backend << "\", \"threads\": " << r.threads
-       << ", \"pivots\": " << r.pivots
+       << ", \"backend\": \"" << r.backend << "\", \"graph\": \"" << r.graph
+       << "\", \"threads\": " << r.threads << ", \"pivots\": " << r.pivots
        << ", \"host_hw_threads\": " << hardware
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
@@ -147,22 +154,24 @@ double timed_ms(std::size_t repeat, Fn&& fn,
 
 int run(const bench_config& config) {
   std::vector<bench_record> records;
-  table t({"n", "edges", "backend", "threads", "pivots", "wall ms",
+  table t({"n", "edges", "backend", "graph", "threads", "pivots", "wall ms",
            "speedup", "max rel err"});
   bool exactness_ok = true;
 
   for (const std::size_t n : config.sizes) {
     rng gen(n);
     const graph::digraph g = graph::barabasi_albert(n, 2, gen);
+    const graph::csr_graph frozen = graph::freeze(g);
     const auto w = [](graph::node_id, graph::node_id) { return 1.0; };
 
-    const auto record = [&](const char* backend, std::size_t threads,
-                            std::size_t pivots, double wall,
-                            double serial_wall, double err) {
+    const auto record = [&](const char* backend, const char* graph_kind,
+                            std::size_t threads, std::size_t pivots,
+                            double wall, double serial_wall, double err) {
       bench_record r;
       r.n = n;
       r.edges = g.edge_count();
       r.backend = backend;
+      r.graph = graph_kind;
       r.threads = threads;
       r.pivots = pivots;
       r.wall_ms = wall;
@@ -171,34 +180,59 @@ int run(const bench_config& config) {
       records.push_back(r);
       t.add_row({static_cast<long long>(n),
                  static_cast<long long>(g.edge_count()), std::string(backend),
-                 static_cast<long long>(threads),
+                 std::string(graph_kind), static_cast<long long>(threads),
                  static_cast<long long>(pivots), wall, r.speedup_vs_serial,
                  err});
     };
 
-    graph::betweenness_result serial;
-    const double serial_ms = timed_ms(
-        config.repeat, [&] { return graph::weighted_betweenness(g, w); },
-        &serial);
-    record("serial", 1, 0, serial_ms, serial_ms, 0.0);
+    // Every configuration runs paired: adjacency first (the baseline every
+    // speedup is measured against is ADJACENCY serial), then the frozen
+    // view, which must reproduce the adjacency result bitwise.
+    const auto paired = [&](const char* backend, std::size_t threads,
+                            std::size_t pivots,
+                            const graph::betweenness_options& options,
+                            double serial_wall,
+                            const graph::betweenness_result* exact)
+        -> std::pair<graph::betweenness_result, double> {
+      graph::betweenness_result adj;
+      const double adj_ms = timed_ms(
+          config.repeat,
+          [&] { return graph::weighted_betweenness(g, w, options); }, &adj);
+      graph::betweenness_result csr;
+      const double csr_ms = timed_ms(
+          config.repeat,
+          [&] { return graph::weighted_betweenness(frozen, w, options); },
+          &csr);
+      if (!bit_identical(adj, csr)) {
+        std::cerr << "bench_betweenness: csr run (backend=" << backend
+                  << ", threads=" << threads << ", pivots=" << pivots
+                  << ", n=" << n
+                  << ") is NOT bit-identical to its adjacency twin\n";
+        exactness_ok = false;
+      }
+      const double base = serial_wall > 0.0 ? serial_wall : adj_ms;
+      const double err_adj = exact ? max_rel_error(*exact, adj) : 0.0;
+      record(backend, "adjacency", threads, pivots, adj_ms, base, err_adj);
+      record(backend, "csr", threads, pivots, csr_ms, base, err_adj);
+      return {std::move(adj), adj_ms};
+    };
+
+    graph::betweenness_options serial_options;
+    auto [serial, serial_ms] =
+        paired("serial", 1, 0, serial_options, 0.0, nullptr);
 
     for (const std::size_t threads : config.threads) {
       graph::betweenness_options options;
       options.backend = graph::betweenness_backend::parallel;
       options.threads = threads;
-      graph::betweenness_result parallel;
-      const double ms = timed_ms(
-          config.repeat,
-          [&] { return graph::weighted_betweenness(g, w, options); },
-          &parallel);
+      const auto [parallel, parallel_ms] =
+          paired("parallel", threads, 0, options, serial_ms, &serial);
       if (!bit_identical(serial, parallel)) {
         std::cerr << "bench_betweenness: parallel backend (threads="
                   << threads << ", n=" << n
                   << ") is NOT bit-identical to serial\n";
         exactness_ok = false;
       }
-      record("parallel", threads, 0, ms, serial_ms,
-             max_rel_error(serial, parallel));
     }
 
     for (const std::size_t divisor : {4, 16}) {
@@ -208,18 +242,13 @@ int run(const bench_config& config) {
       options.threads = 1;  // isolate sampling speedup from threading
       options.sample_pivots = pivots;
       options.rng_seed = 0x5eed0000 + n;
-      graph::betweenness_result sampled;
-      const double ms = timed_ms(
-          config.repeat,
-          [&] { return graph::weighted_betweenness(g, w, options); },
-          &sampled);
-      record("sampled", 1, pivots, ms, serial_ms,
-             max_rel_error(serial, sampled));
+      paired("sampled", 1, pivots, options, serial_ms, &serial);
     }
   }
 
   std::cout << "E16 / betweenness backend comparison (BA hosts, attach 2; "
-            << "parallel must be bit-identical to serial)\n";
+            << "parallel must be bit-identical to serial, csr to "
+            << "adjacency)\n";
   t.print(std::cout);
   write_json(config.json_path, records);
   std::cout << records.size() << " record(s) -> " << config.json_path << "\n";

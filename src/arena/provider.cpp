@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dist/zipf.h"
+#include "graph/csr.h"
 #include "graph/traversal.h"
 #include "util/error.h"
 
@@ -90,14 +91,19 @@ topology::utility_breakdown utility_provider::evaluate(
   const graph::betweenness_options backend = backend_for(g.node_count());
   stats_.full_sweeps += swept_sources(backend, g.node_count() - 1);
   const lazy_prob_rows rows(g, params_.s, params_.basis);
+  // One O(n + m) freeze buys the whole sweep flat-array locality; the frozen
+  // view is bitwise-equivalent to the adjacency path on every backend, so
+  // every pinned result upstream is unchanged.
+  const graph::csr_graph frozen = graph::freeze(g);
   topology::utility_breakdown out;
   out.revenue =
       params_.b *
       graph::node_betweenness_of(
-          g, u,
+          frozen, u,
           [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
           backend);
-  out.fees = fees_of(rows.row(u), graph::bfs_distances(g, u), u, params_.a);
+  out.fees =
+      fees_of(rows.row(u), graph::bfs_distances(frozen, u), u, params_.a);
   out.cost =
       params_.l * params_.cost_share * static_cast<double>(g.out_degree(u));
   out.total = std::isinf(out.fees) ? -inf : out.revenue - out.fees - out.cost;
@@ -109,8 +115,9 @@ std::vector<double> utility_provider::node_scores(
   const graph::betweenness_options backend = backend_for(g.node_count());
   stats_.full_sweeps += swept_sources(backend, g.node_count());
   const lazy_prob_rows rows(g, params_.s, params_.basis);
+  const graph::csr_graph frozen = graph::freeze(g);
   const graph::betweenness_result bw = graph::weighted_betweenness(
-      g,
+      frozen,
       [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
       backend);
   return bw.node;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "graph/csr.h"
 #include "graph/traversal.h"
 #include "util/rng.h"
 
@@ -25,11 +26,42 @@ struct source_contribution {
   std::vector<std::pair<edge_id, double>> edge;
 };
 
+// The sweep engine below is templated over a uniform adjacency VIEW so the
+// mutable digraph and the frozen CSR snapshot (graph/csr.h) run the exact
+// same code — and therefore the exact same float operation sequence, which
+// is what makes frozen-view results bitwise equal to adjacency-list ones.
+// A view's edge KEY is the digraph edge id / the CSR packed index;
+// result_slot() maps a key to the per-edge accumulator slot (identity /
+// the original digraph edge id), so both paths emit one output layout.
+
+struct digraph_sweep_view {
+  const digraph& g;
+  [[nodiscard]] std::size_t node_count() const { return g.node_count(); }
+  [[nodiscard]] node_id src_of(edge_id e) const { return g.edge_at(e).src; }
+  [[nodiscard]] edge_id result_slot(edge_id e) const { return e; }
+  [[nodiscard]] sp_dag dag(node_id s) const { return shortest_path_dag(g, s); }
+};
+
+struct csr_sweep_view {
+  const csr_graph& c;
+  [[nodiscard]] std::size_t node_count() const { return c.node_count(); }
+  [[nodiscard]] node_id src_of(csr_graph::packed_id k) const {
+    return c.edge_src(k);
+  }
+  [[nodiscard]] edge_id result_slot(csr_graph::packed_id k) const {
+    return c.edge_slot(k);
+  }
+  [[nodiscard]] sp_dag dag(node_id s) const { return shortest_path_dag(c, s); }
+};
+
 /// The Brandes backward accumulation over a (possibly cached) DAG: the ONE
 /// place the per-source float operation sequence lives. Both the full-sweep
 /// engine (compute_contribution) and the public source_dependencies entry
-/// run exactly this, which is what makes DAG-reuse bitwise-equal.
-void accumulate_over_dag(const digraph& g, const sp_dag& dag, node_id s,
+/// run exactly this, which is what makes DAG-reuse bitwise-equal. The DAG's
+/// pred lists hold the view's edge keys (shortest_path_dag of the matching
+/// graph representation).
+template <typename View>
+void accumulate_over_dag(const View& view, const sp_dag& dag, node_id s,
                          const pair_weight_fn& w,
                          std::vector<std::pair<edge_id, double>>* edge_out,
                          std::vector<double>& delta) {
@@ -39,11 +71,11 @@ void accumulate_over_dag(const digraph& g, const sp_dag& dag, node_id s,
     if (v == s) continue;
     const double through = w(s, v) + delta[v];
     for (const edge_id e : dag.pred[v]) {
-      const node_id u = g.edge_at(e).src;
+      const node_id u = view.src_of(e);
       const double contribution = dag.sigma[u] / dag.sigma[v] * through;
-      // Each edge id appears in exactly one pred list at most once, so this
-      // is the single addition edge e receives from source s.
-      if (edge_out) edge_out->emplace_back(e, contribution);
+      // Each edge key appears in exactly one pred list at most once, so
+      // this is the single addition its slot receives from source s.
+      if (edge_out) edge_out->emplace_back(view.result_slot(e), contribution);
       delta[u] += contribution;
     }
   }
@@ -52,13 +84,15 @@ void accumulate_over_dag(const digraph& g, const sp_dag& dag, node_id s,
 
 /// Runs the Brandes backward accumulation for one source into `out`.
 /// `want_edges` == false skips the per-edge recording (node-only queries).
-void compute_contribution(const digraph& g, node_id s, const pair_weight_fn& w,
-                          bool want_edges, source_contribution& out) {
+template <typename View>
+void compute_contribution(const View& view, node_id s,
+                          const pair_weight_fn& w, bool want_edges,
+                          source_contribution& out) {
   out.source = s;
-  out.delta.assign(g.node_count(), 0.0);
+  out.delta.assign(view.node_count(), 0.0);
   out.edge.clear();
-  const sp_dag dag = shortest_path_dag(g, s);
-  accumulate_over_dag(g, dag, s, w, want_edges ? &out.edge : nullptr,
+  const sp_dag dag = view.dag(s);
+  accumulate_over_dag(view, dag, s, w, want_edges ? &out.edge : nullptr,
                       out.delta);
 }
 
@@ -94,14 +128,15 @@ std::size_t effective_threads(const betweenness_options& options,
 /// sources are processed in bounded chunks — each chunk's contributions are
 /// computed concurrently, then merged in source order — so the result is
 /// bit-identical to the threads == 1 path.
-void run_sweeps(const digraph& g, const std::vector<node_id>& sources,
+template <typename View>
+void run_sweeps(const View& view, const std::vector<node_id>& sources,
                 const pair_weight_fn& w, double scale, std::size_t threads,
                 std::vector<double>* node_acc, std::vector<double>* edge_acc) {
   const bool want_edges = edge_acc != nullptr;
   if (threads <= 1) {
     source_contribution c;
     for (const node_id s : sources) {
-      compute_contribution(g, s, w, want_edges, c);
+      compute_contribution(view, s, w, want_edges, c);
       merge(c, scale, node_acc, edge_acc);
     }
     return;
@@ -133,7 +168,8 @@ void run_sweeps(const digraph& g, const std::vector<node_id>& sources,
         while (!failed.load(std::memory_order_relaxed)) {
           const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= end) break;
-          compute_contribution(g, sources[i], w, want_edges, slots[i - begin]);
+          compute_contribution(view, sources[i], w, want_edges,
+                               slots[i - begin]);
         }
       } catch (...) {
         {
@@ -234,34 +270,75 @@ std::vector<node_id> sample_betweenness_pivots(std::size_t n, std::size_t k,
   return select_sources(n, options, invalid_node).first;
 }
 
+namespace {
+
+/// Shared by the digraph and CSR entry points: the backend dispatch is
+/// identical, only the adjacency view differs.
+template <typename View>
+betweenness_result weighted_betweenness_on(const View& view,
+                                           std::size_t edge_slots,
+                                           const pair_weight_fn& w,
+                                           const betweenness_options& options) {
+  betweenness_result result;
+  result.node.assign(view.node_count(), 0.0);
+  result.edge.assign(edge_slots, 0.0);
+  auto [sources, scale] =
+      select_sources(view.node_count(), options, invalid_node);
+  run_sweeps(view, sources, w, scale,
+             effective_threads(options, sources.size()), &result.node,
+             &result.edge);
+  return result;
+}
+
+template <typename View>
+double node_betweenness_of_on(const View& view, node_id u,
+                              const pair_weight_fn& w,
+                              const betweenness_options& options) {
+  std::vector<double> node_acc(view.node_count(), 0.0);
+  // Pairs with source u are not routed *through* u, so u is excluded from
+  // the source population (and from the sampled pivot pool).
+  auto [sources, scale] = select_sources(view.node_count(), options, u);
+  run_sweeps(view, sources, w, scale,
+             effective_threads(options, sources.size()), &node_acc, nullptr);
+  return node_acc[u];
+}
+
+}  // namespace
+
 betweenness_result weighted_betweenness(const digraph& g,
                                         const pair_weight_fn& w,
                                         const betweenness_options& options) {
-  betweenness_result result;
-  result.node.assign(g.node_count(), 0.0);
-  result.edge.assign(g.edge_slots(), 0.0);
-  auto [sources, scale] =
-      select_sources(g.node_count(), options, invalid_node);
-  run_sweeps(g, sources, w, scale, effective_threads(options, sources.size()),
-             &result.node, &result.edge);
-  return result;
+  return weighted_betweenness_on(digraph_sweep_view{g}, g.edge_slots(), w,
+                                 options);
 }
 
 betweenness_result betweenness(const digraph& g) {
   return weighted_betweenness(g, [](node_id, node_id) { return 1.0; });
 }
 
+betweenness_result weighted_betweenness(const csr_graph& c,
+                                        const pair_weight_fn& w,
+                                        const betweenness_options& options) {
+  return weighted_betweenness_on(csr_sweep_view{c}, c.edge_slots(), w,
+                                 options);
+}
+
+betweenness_result betweenness(const csr_graph& c) {
+  return weighted_betweenness(c, [](node_id, node_id) { return 1.0; });
+}
+
 double node_betweenness_of(const digraph& g, node_id u,
                            const pair_weight_fn& w,
                            const betweenness_options& options) {
   LCG_EXPECTS(g.has_node(u));
-  std::vector<double> node_acc(g.node_count(), 0.0);
-  // Pairs with source u are not routed *through* u, so u is excluded from
-  // the source population (and from the sampled pivot pool).
-  auto [sources, scale] = select_sources(g.node_count(), options, u);
-  run_sweeps(g, sources, w, scale, effective_threads(options, sources.size()),
-             &node_acc, nullptr);
-  return node_acc[u];
+  return node_betweenness_of_on(digraph_sweep_view{g}, u, w, options);
+}
+
+double node_betweenness_of(const csr_graph& c, node_id u,
+                           const pair_weight_fn& w,
+                           const betweenness_options& options) {
+  LCG_EXPECTS(c.has_node(u));
+  return node_betweenness_of_on(csr_sweep_view{c}, u, w, options);
 }
 
 source_plan betweenness_source_plan(std::size_t n,
@@ -274,7 +351,7 @@ source_plan betweenness_source_plan(std::size_t n,
 void source_dependencies(const digraph& g, const sp_dag& dag, node_id s,
                          const pair_weight_fn& w, std::vector<double>& delta) {
   delta.assign(g.node_count(), 0.0);
-  accumulate_over_dag(g, dag, s, w, nullptr, delta);
+  accumulate_over_dag(digraph_sweep_view{g}, dag, s, w, nullptr, delta);
 }
 
 bool toggle_affects_source(const std::vector<std::int32_t>& dist,

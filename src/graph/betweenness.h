@@ -121,6 +121,29 @@ struct betweenness_options {
 /// Unweighted betweenness (w == 1 for every ordered pair).
 [[nodiscard]] betweenness_result betweenness(const digraph& g);
 
+// --- Frozen-view entry points (graph/csr.h) -------------------------------
+//
+// Every backend also accepts a frozen CSR view. The flat arrays preserve
+// the digraph's per-node active out-edge order, so the sweep engine (one
+// shared template) executes the identical float operation sequence and the
+// results — including the per-edge vector, which stays indexed by ORIGINAL
+// digraph edge id via csr_graph::edge_slot — are BITWISE equal to the
+// adjacency-list overloads for every backend, thread count and pivot
+// stream (pinned by the CSR axis of graph_betweenness_property_test.cpp
+// and enforced by bench_betweenness's exit code).
+
+class csr_graph;  // graph/csr.h
+
+[[nodiscard]] betweenness_result weighted_betweenness(
+    const csr_graph& c, const pair_weight_fn& w,
+    const betweenness_options& options = {});
+
+[[nodiscard]] betweenness_result betweenness(const csr_graph& c);
+
+[[nodiscard]] double node_betweenness_of(
+    const csr_graph& c, node_id u, const pair_weight_fn& w,
+    const betweenness_options& options = {});
+
 /// Weighted dependency accumulated at a single node `u` (pairs with either
 /// endpoint equal to u contribute nothing: sources s == u are skipped, and
 /// a target t == u only ever contributes to nodes strictly inside an s -> u

@@ -1,7 +1,10 @@
-// Graph serialisation: Graphviz DOT (for visualisation) and a plain
-// edge-list text format (round-trippable, for persisting experiment
-// topologies). Bidirectional edge pairs are emitted as one undirected DOT
-// edge; the edge-list format keeps directions and capacities exactly.
+// Graph serialisation: Graphviz DOT (for visualisation), a plain edge-list
+// text format (round-trippable, for persisting experiment topologies), and
+// a three-file CSV snapshot in CLoTH's nodes/edges/channels interchange
+// shape so scale/* scenarios can load committed synthetic hosts and real
+// Lightning topology snapshots. Bidirectional edge pairs are emitted as one
+// undirected DOT edge; the edge-list and CSV formats keep directions and
+// capacities exactly.
 
 #ifndef LCG_GRAPH_IO_H
 #define LCG_GRAPH_IO_H
@@ -23,8 +26,62 @@ void write_dot(std::ostream& os, const digraph& g,
 /// "<src> <dst> <capacity>".
 void write_edge_list(std::ostream& os, const digraph& g);
 
-/// Parses the write_edge_list format. Throws lcg::error on malformed input.
-[[nodiscard]] digraph read_edge_list(std::istream& is);
+/// How read_edge_list treats repeated (src, dst) pairs. The digraph is a
+/// multigraph (parallel channels are legal in the model), but a repeated
+/// pair in a hand-written edge list is almost always a typo, so rejection
+/// is the default and multigraph inputs opt in explicitly.
+struct edge_list_options {
+  bool allow_parallel_edges = false;
+};
+
+/// Parses the write_edge_list format. Throws lcg::error on malformed input;
+/// every message carries the 1-based line number of the offending line.
+/// Duplicate (src, dst) pairs are rejected unless
+/// options.allow_parallel_edges is set.
+[[nodiscard]] digraph read_edge_list(std::istream& is,
+                                     const edge_list_options& options = {});
+
+// --- CSV topology snapshots (CLoTH interchange shape) ---------------------
+//
+// Three CSV files, headers included:
+//
+//   nodes.csv     id
+//   channels.csv  id,edge1,edge2,node1,node2,capacity
+//   edges.csv     id,channel_id,counter_edge_id,from_node,to_node,balance
+//
+// Every ACTIVE directed edge becomes one edges.csv row; ids are densely
+// renumbered 0..m-1 in edge-slot order, so a snapshot of a toggled-up
+// digraph is compact. Reverse edge pairs (a->b / b->a) are greedily paired
+// into one channel — same pairing rule as write_dot — whose capacity is the
+// sum of the two balances (CLoTH's convention); an unpaired directed edge
+// forms a one-way channel with edge2 == -1 and capacity equal to its
+// balance. read(write(g)) preserves node count, every directed edge and its
+// balance, and per-node adjacency order; write(read(write(g))) is
+// byte-identical (pinned by tests/graph_io_csv_test.cpp).
+//
+// Readers validate hard and locate every failure: unknown headers, field
+// count mismatches (truncated rows), unparsable or negative balances and
+// capacities, endpoint node ids outside nodes.csv (dangling), non-dense or
+// out-of-order ids, dangling channel/counter-edge references and
+// inconsistent channel<->edge back-references all throw lcg::error with the
+// file kind and 1-based line number.
+
+/// Writes the three streams. Streams, not paths, so tests and in-memory
+/// callers need no filesystem.
+void write_csv_snapshot(std::ostream& nodes_os, std::ostream& channels_os,
+                        std::ostream& edges_os, const digraph& g);
+
+/// Parses the three streams. Throws lcg::error (with file kind + line
+/// number) on malformed input.
+[[nodiscard]] digraph read_csv_snapshot(std::istream& nodes_is,
+                                        std::istream& channels_is,
+                                        std::istream& edges_is);
+
+/// Convenience wrappers over `<dir>/nodes.csv`, `<dir>/channels.csv`,
+/// `<dir>/edges.csv`. write creates `dir` if missing; read throws
+/// lcg::error naming any file it cannot open.
+void write_csv_snapshot(const std::string& dir, const digraph& g);
+[[nodiscard]] digraph read_csv_snapshot(const std::string& dir);
 
 }  // namespace lcg::graph
 

@@ -6,7 +6,7 @@
 namespace lcg::traffic {
 
 balance_view::balance_view(const pcn::network& net, bool fresh)
-    : net_(&net), fresh_(fresh) {
+    : net_(&net), fresh_(fresh), csr_(graph::freeze(net.topology())) {
   if (!fresh_) refresh();
 }
 
@@ -23,29 +23,35 @@ std::vector<graph::edge_id> find_route(
     const pcn::network& net, const balance_view& view, graph::node_id sender,
     graph::node_id receiver, double amount,
     const std::vector<graph::edge_id>& excluded) {
-  const graph::digraph& g = net.topology();
+  const graph::csr_graph& c = view.frozen();
   // Same BFS as pcn::network::feasible_path's deterministic mode, on the
-  // believed balances: adjacency order decides ties, so a fresh view
-  // reproduces execute_payment's path exactly.
-  std::vector<graph::edge_id> parent_edge(g.node_count(),
+  // believed balances, over the frozen flat arrays. The CSR preserves the
+  // digraph's per-node adjacency order, so ties break identically and a
+  // fresh view still reproduces execute_payment's path exactly.
+  std::vector<graph::edge_id> parent_edge(c.node_count(),
                                           graph::invalid_edge);
-  std::vector<char> seen(g.node_count(), 0);
+  std::vector<char> seen(c.node_count(), 0);
   std::queue<graph::node_id> frontier;
   seen[sender] = 1;
   frontier.push(sender);
   while (!frontier.empty() && !seen[receiver]) {
     const graph::node_id v = frontier.front();
     frontier.pop();
-    g.for_each_out(v, [&](graph::edge_id e, const graph::edge& ed) {
-      if (seen[ed.dst] || view.believed(e, ed, sender) < amount) return;
+    for (graph::csr_graph::packed_id k = c.row_begin(v); k < c.row_end(v);
+         ++k) {
+      const graph::node_id dst = c.edge_dst(k);
+      if (seen[dst]) continue;
+      const graph::edge_id e = c.edge_slot(k);
+      if (view.believed(e, v, sender) < amount) continue;
       if (std::find(excluded.begin(), excluded.end(), e) != excluded.end())
-        return;
-      seen[ed.dst] = 1;
-      parent_edge[ed.dst] = e;
-      frontier.push(ed.dst);
-    });
+        continue;
+      seen[dst] = 1;
+      parent_edge[dst] = e;
+      frontier.push(dst);
+    }
   }
   if (!seen[receiver]) return {};
+  const graph::digraph& g = net.topology();
   std::vector<graph::edge_id> route;
   graph::node_id v = receiver;
   while (v != sender) {

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "graph/csr.h"
 #include "pcn/network.h"
 
 namespace lcg::traffic {
@@ -29,6 +30,9 @@ class balance_view {
  public:
   /// `fresh` == true: the view always reports live balances (no copy is
   /// kept). Otherwise the belief is captured now and on every refresh().
+  /// Either way the TOPOLOGY is frozen to a CSR view here: channel structure
+  /// is static for the lifetime of a traffic run (only balances move), so
+  /// every find_route BFS walks flat arrays instead of the adjacency lists.
   balance_view(const pcn::network& net, bool fresh);
 
   /// Re-learns every edge's current balance (a global gossip sweep).
@@ -37,6 +41,12 @@ class balance_view {
   [[nodiscard]] bool fresh() const noexcept { return fresh_; }
   [[nodiscard]] std::uint64_t refreshes() const noexcept { return refreshes_; }
 
+  /// The frozen topology all routing runs on (per-node edge order identical
+  /// to the digraph's, so routes match the adjacency-list BFS exactly).
+  [[nodiscard]] const graph::csr_graph& frozen() const noexcept {
+    return csr_;
+  }
+
   /// The balance `sender` believes edge `e` (with endpoint data `ed`) has.
   [[nodiscard]] double believed(graph::edge_id e, const graph::edge& ed,
                                 graph::node_id sender) const {
@@ -44,9 +54,21 @@ class balance_view {
     return believed_[e];
   }
 
+  /// Same belief, keyed by original edge id + its source node (the CSR
+  /// routing path, which doesn't hold a graph::edge). Live balances are
+  /// looked up in the network; the frozen capacities are NOT used (they are
+  /// a snapshot of construction time, balances move every payment).
+  [[nodiscard]] double believed(graph::edge_id e, graph::node_id src,
+                                graph::node_id sender) const {
+    if (fresh_ || src == sender)
+      return net_->topology().edge_at(e).capacity;
+    return believed_[e];
+  }
+
  private:
   const pcn::network* net_;
   bool fresh_;
+  graph::csr_graph csr_;          // frozen topology (structure, not balances)
   std::vector<double> believed_;  // by edge id; empty when fresh
   std::uint64_t refreshes_ = 0;
 };

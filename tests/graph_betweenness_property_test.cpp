@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "util/rng.h"
@@ -623,6 +624,92 @@ TEST(BetweennessInvariant, BackendNamesRoundTrip) {
   }
   EXPECT_THROW((void)betweenness_backend_from_name("gpu"), precondition_error);
   EXPECT_THROW((void)betweenness_backend_from_name(""), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// CSR axis (ISSUE 8): a frozen csr_graph view fed to any backend must
+// reproduce the adjacency-list result BITWISE — same engine template, same
+// per-node edge order, same float operation sequence — over the whole
+// corpus, for every backend, and across freeze -> toggle -> re-freeze
+// sequences. The per-edge vector stays indexed by original edge id, so the
+// two results are comparable element for element with no translation.
+// ---------------------------------------------------------------------------
+
+TEST(BetweennessCsr, FrozenViewBitwiseEqualsDigraphOnEveryBackend) {
+  for (const corpus_case& c : build_corpus()) {
+    const csr_graph frozen = freeze(c.g);
+    ASSERT_EQ(frozen.edge_slots(), c.g.edge_slots()) << c.name;
+    for (const betweenness_options& options : all_backend_options()) {
+      const std::string context =
+          c.name + " backend=" +
+          std::string(betweenness_backend_name(options.backend));
+      expect_bitwise_result(weighted_betweenness(frozen, c.w, options),
+                            weighted_betweenness(c.g, c.w, options), context);
+    }
+    // The unit-weight convenience overload shares the path.
+    expect_bitwise_result(betweenness(frozen), betweenness(c.g),
+                          c.name + " unit");
+  }
+}
+
+TEST(BetweennessCsr, NodeBetweennessOfMatchesDigraphBitwise) {
+  for (const corpus_case& c : build_corpus()) {
+    if (c.g.node_count() == 0) continue;
+    const csr_graph frozen = freeze(c.g);
+    // Every third node keeps the corpus-wide sweep affordable while still
+    // covering hubs and leaves.
+    for (node_id u = 0; u < c.g.node_count(); u += 3) {
+      for (const betweenness_options& options : all_backend_options()) {
+        const double got = node_betweenness_of(frozen, u, c.w, options);
+        const double want = node_betweenness_of(c.g, u, c.w, options);
+        EXPECT_EQ(got, want)
+            << c.name << " u=" << u << " backend="
+            << betweenness_backend_name(options.backend);
+      }
+    }
+  }
+}
+
+TEST(BetweennessCsr, BitwiseStableAcrossToggleRefreezeSequences) {
+  // freeze -> random channel toggle -> re-freeze must track the mutable
+  // digraph exactly: after every step the re-frozen view agrees bitwise
+  // with the adjacency path on every backend. Removals leave inactive
+  // slots behind (frozen out), additions append fresh slots (frozen in) —
+  // both directions of the slot lifecycle are exercised.
+  for (const corpus_case& c : build_corpus()) {
+    if (c.g.node_count() < 3) continue;
+    digraph g = c.g;  // mutable copy
+    rng gen(0xC5A0 + g.node_count());
+    for (int step = 0; step < 4; ++step) {
+      const auto channels = channel_list(g);
+      const bool add = channels.empty() || (gen.uniform01() < 0.4);
+      node_id a, b;
+      if (add) {
+        // A uniformly random distinct pair; parallel channels are fine.
+        a = static_cast<node_id>(
+            gen.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+        b = static_cast<node_id>(
+            gen.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 2));
+        if (b >= a) ++b;
+      } else {
+        const auto& pick = channels[static_cast<std::size_t>(gen.uniform_int(
+            0, static_cast<std::int64_t>(channels.size()) - 1))];
+        a = pick.first;
+        b = pick.second;
+      }
+      apply_channel_toggle(g, a, b, add);
+
+      const csr_graph frozen = freeze(g);
+      ASSERT_EQ(frozen.edge_count(), g.edge_count()) << c.name;
+      for (const betweenness_options& options : all_backend_options()) {
+        const std::string context =
+            c.name + " step=" + std::to_string(step) + " backend=" +
+            std::string(betweenness_backend_name(options.backend));
+        expect_bitwise_result(weighted_betweenness(frozen, c.w, options),
+                              weighted_betweenness(g, c.w, options), context);
+      }
+    }
+  }
 }
 
 }  // namespace

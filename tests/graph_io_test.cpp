@@ -55,6 +55,68 @@ TEST(GraphIo, ReadRejectsOutOfRangeEndpoint) {
   EXPECT_THROW(read_edge_list(bad), error);
 }
 
+/// Captures the lcg::error message `fn` throws (fails the test if it
+/// doesn't throw).
+template <typename Fn>
+std::string error_message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected lcg::error";
+  return {};
+}
+
+TEST(GraphIo, ReadRejectsDuplicateEdgesWithLineNumber) {
+  // ISSUE 8 regression: the reader used to accept repeated (src, dst)
+  // pairs silently, turning edge-list typos into parallel channels.
+  std::stringstream dup("nodes 3\n0 1 1.0\n1 2 1.0\n0 1 2.5\n");
+  const std::string msg =
+      error_message_of([&] { (void)read_edge_list(dup); });
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate edge 0 -> 1"), std::string::npos) << msg;
+}
+
+TEST(GraphIo, ReadAcceptsParallelEdgesWhenOptedIn) {
+  // The digraph is a multigraph; intentional parallel channels opt in.
+  std::stringstream dup("nodes 2\n0 1 1.0\n0 1 2.5\n");
+  edge_list_options options;
+  options.allow_parallel_edges = true;
+  const digraph g = read_edge_list(dup, options);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_at(0).capacity, 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_at(1).capacity, 2.5);
+}
+
+TEST(GraphIo, ReadLocatesMalformedAndOutOfRangeLines) {
+  // ISSUE 8 regression: errors used to be unlocated ("malformed edge
+  // line"); every message now carries the 1-based line number.
+  std::stringstream truncated("nodes 3\n0 1 1.0\n1 2\n");
+  const std::string trunc_msg =
+      error_message_of([&] { (void)read_edge_list(truncated); });
+  EXPECT_NE(trunc_msg.find("line 3"), std::string::npos) << trunc_msg;
+
+  std::stringstream trailing("nodes 3\n0 1 1.0 garbage\n");
+  const std::string trail_msg =
+      error_message_of([&] { (void)read_edge_list(trailing); });
+  EXPECT_NE(trail_msg.find("line 2"), std::string::npos) << trail_msg;
+
+  std::stringstream out_of_range("nodes 2\n0 1 1.0\n\n0 5 1.0\n");
+  const std::string range_msg =
+      error_message_of([&] { (void)read_edge_list(out_of_range); });
+  // Line 3 is blank (tolerated); the offending row is physical line 4.
+  EXPECT_NE(range_msg.find("line 4"), std::string::npos) << range_msg;
+  EXPECT_NE(range_msg.find("out of range"), std::string::npos) << range_msg;
+}
+
+TEST(GraphIo, ReadRejectsNegativeEndpoint) {
+  std::stringstream bad("nodes 2\n-1 1 1.0\n");
+  const std::string msg =
+      error_message_of([&] { (void)read_edge_list(bad); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
 TEST(GraphIo, DotRendersChannelsAsUndirected) {
   digraph g(3);
   g.add_bidirectional(0, 1, 4.0, 6.0);

@@ -26,11 +26,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <iostream>
 
+#include "graph/generators.h"
+#include "graph/io.h"
 #include "runner/executor.h"
 #include "runner/grid.h"
 #include "runner/registry.h"
+#include "util/rng.h"
 
 namespace lcg::runner {
 namespace {
@@ -80,6 +84,49 @@ TEST(ScaleHeavy, ExactReferenceErrorBoundsAtTenThousandNodes) {
     EXPECT_LT(mean_rel, g.mean_bound) << "pivots=" << g.pivots;
     EXPECT_LT(max_rel, g.max_bound) << "pivots=" << g.pivots;
   }
+}
+
+// The 10^5-node CSV snapshot acceptance run: generate a BA host, write it
+// in the CLoTH nodes/edges/channels shape, and drive it end-to-end through
+// scale/snapshot_host (read -> freeze -> bucket-queue reach -> sampled
+// Brandes over the frozen view). Pins the snapshot path, not the estimator:
+// structure columns are exact, so they are asserted tightly.
+TEST(ScaleHeavy, HundredThousandNodeCsvSnapshotHostEndToEnd) {
+  register_builtin_scenarios();
+  const scenario* sc = registry::global().find("scale/snapshot_host");
+  ASSERT_NE(sc, nullptr);
+
+  const std::size_t n = 100000;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "lcg_heavy_ba100k";
+  {
+    rng gen(42);
+    const graph::digraph g = graph::barabasi_albert(n, 2, gen, 10.0);
+    graph::write_csv_snapshot(dir.string(), g);
+  }
+
+  param_grid grid(sc->default_sweep);
+  // A path-shaped value routes around the committed-fixture directory.
+  grid.set("snapshot", value(dir.string()));
+  grid.set("pivots", value(64LL));
+  std::vector<job> jobs = expand_jobs(*sc, grid, 1, 42);
+  ASSERT_EQ(jobs.size(), 1u);
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  ASSERT_TRUE(results.at(0).ok()) << results[0].error;
+  const result_row& row = results[0].rows.at(0);
+
+  EXPECT_EQ(cell(row, "nodes"), static_cast<double>(n));
+  // BA attach=2: the first edge is a single channel, then 2 per new node.
+  EXPECT_EQ(cell(row, "edges"), cell(row, "channels") * 2.0);
+  EXPECT_GE(cell(row, "channels"), static_cast<double>(n));
+  EXPECT_EQ(cell(row, "reachable_share"), 1.0);  // BA hosts are connected
+  EXPECT_GE(cell(row, "hub_ecc"), 2.0);
+  EXPECT_GT(cell(row, "top_bt_share"), 0.0);
+  std::cout << "[snapshot] n=" << n << " channels=" << cell(row, "channels")
+            << " hub_ecc=" << cell(row, "hub_ecc")
+            << " top_bt_share=" << cell(row, "top_bt_share") << "\n";
+
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
