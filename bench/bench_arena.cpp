@@ -7,17 +7,25 @@
 // trajectory is tracked across PRs (the same contract as
 // BENCH_betweenness.json):
 //
-//   [{"n":..., "channels_start":..., "topology":"ws", "oracle":"greedy",
-//     "order":"round_robin", "pivots":16, "mode":"full", "rounds":...,
-//     "moves":..., "evaluations":..., "effective_sweeps":...,
+//   [{"family":"static", "n":..., "channels_start":..., "topology":"ws",
+//     "oracle":"greedy", "order":"round_robin", "pivots":16, "mode":"full",
+//     "rounds":..., "moves":..., "evaluations":..., "effective_sweeps":...,
 //     "pruned_candidates":..., "sweep_reduction":..., "converged":1,
+//     "joins":0, "leaves":0, "conservation_gap":0,
 //     "final_shape":"other", "wall_ms":..., "evals_per_ms":...}, ...]
+//
+// Three families per population size (ISSUE 9): "static" (the homogeneous
+// fixed population, greedy AND local oracles), "hetero" (lognormal
+// per-player cost params through arena/population.h) and "churn" (2n/3
+// initial players, 8 joins + 8 leaves, deposit ledger tracked —
+// conservation_gap must be exactly 0).
 //
 // Every configuration runs in BOTH provider modes (full, incremental) and
 // the records are emitted as adjacent pairs. The two runs must agree on
 // every observable — outcome, rounds, moves, logical evaluations, total
-// gain, final topology — and this binary EXITS NON-ZERO on any divergence,
-// so the bench doubles as the mode-equivalence gate at bench scale.
+// gain, final topology, churn counts, ledger — and this binary EXITS
+// NON-ZERO on any divergence, so the bench doubles as the mode-equivalence
+// gate at bench scale, now including the heterogeneous and churning paths.
 // `effective_sweeps` counts single-source DAG constructions (the metric the
 // incremental mode exists to cut); `sweep_reduction` on incremental records
 // is full/incremental for the same configuration.
@@ -36,8 +44,11 @@
 #include <vector>
 
 #include "arena/engine.h"
+#include "arena/population.h"
+#include "dist/param_sampler.h"
 #include "runner/fixtures.h"
 #include "topology/dynamics.h"
+#include "topology/game.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -47,6 +58,9 @@ namespace {
 using namespace lcg;
 
 struct bench_record {
+  /// "static" (the homogeneous fixed-population run), "hetero" (lognormal
+  /// per-player params) or "churn" (join/leave schedule + deposit ledger).
+  std::string family = "static";
   std::size_t n = 0;
   std::size_t channels_start = 0;
   std::string topology;
@@ -54,6 +68,9 @@ struct bench_record {
   std::string order;
   std::size_t pivots = 0;
   std::string mode;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  double conservation_gap = 0.0;
   std::size_t rounds = 0;
   std::size_t moves = 0;
   std::uint64_t evaluations = 0;
@@ -105,7 +122,8 @@ void write_json(const std::string& path,
     const bench_record& r = records[i];
     const double evals_per_ms =
         r.wall_ms > 0.0 ? static_cast<double>(r.evaluations) / r.wall_ms : 0.0;
-    os << "  {\"n\": " << r.n << ", \"channels_start\": " << r.channels_start
+    os << "  {\"family\": \"" << r.family << "\", \"n\": " << r.n
+       << ", \"channels_start\": " << r.channels_start
        << ", \"topology\": \"" << r.topology << "\", \"oracle\": \""
        << r.oracle << "\", \"order\": \"" << r.order
        << "\", \"pivots\": " << r.pivots << ", \"mode\": \"" << r.mode
@@ -115,6 +133,8 @@ void write_json(const std::string& path,
        << ", \"pruned_candidates\": " << r.pruned
        << ", \"sweep_reduction\": " << r.sweep_reduction
        << ", \"converged\": " << (r.converged ? 1 : 0)
+       << ", \"joins\": " << r.joins << ", \"leaves\": " << r.leaves
+       << ", \"conservation_gap\": " << r.conservation_gap
        << ", \"final_shape\": \"" << r.final_shape << "\""
        << ", \"host_hw_threads\": " << hardware
        << ", \"wall_ms\": " << r.wall_ms
@@ -146,12 +166,97 @@ bool equal_runs(const arena::arena_result& a, const arena::arena_result& b) {
 
 int run(const bench_config& config) {
   std::vector<bench_record> records;
-  table t({"n", "channels", "oracle", "mode", "rounds", "moves",
+  table t({"family", "n", "channels", "oracle", "mode", "rounds", "moves",
            "evaluations", "sweeps", "pruned", "reduction", "shape",
            "wall ms"});
 
   topology::game_params params;
   params.l = 1.5;
+
+  // The shared restricted-greedy configuration of every family.
+  const auto base_options = [] {
+    arena::arena_options options;
+    options.oracle = arena::oracle_kind::greedy;
+    options.order = arena::activation_order::round_robin;
+    options.seed = 42;
+    options.max_rounds = 24;
+    options.oracle_opts.candidate_k = 3;
+    options.oracle_opts.candidate_random = 0;
+    options.oracle_opts.max_channels = 3;
+    options.provider.exact_threshold = 96;
+    options.provider.pivots = 16;
+    options.provider.seed = 42;
+    return options;
+  };
+
+  /// Runs a population configuration in both provider modes, appending the
+  /// paired records; false on any full/incremental divergence (dynamics,
+  /// churn counts or the deposit ledger).
+  const auto run_population_pair = [&](const std::string& family,
+                                       const graph::digraph& start,
+                                       arena::population_options popts) {
+    const std::size_t n = start.node_count();
+    std::vector<arena::population_result> results;
+    for (const arena::provider_mode mode :
+         {arena::provider_mode::full, arena::provider_mode::incremental}) {
+      popts.base.provider.mode = mode;
+      arena::population_result result;
+      double best_ms = 0.0;
+      for (std::size_t r = 0; r < config.repeat; ++r) {
+        stopwatch sw;
+        result = arena::run_population(start, params, popts);
+        const double ms = sw.elapsed_ms();
+        if (r == 0 || ms < best_ms) best_ms = ms;
+      }
+
+      bench_record rec;
+      rec.family = family;
+      rec.n = n;
+      rec.channels_start = start.edge_count() / 2;
+      rec.topology = "ws";
+      rec.oracle = std::string(arena::oracle_name(popts.base.oracle));
+      rec.order = std::string(arena::order_name(popts.base.order));
+      rec.pivots = popts.base.provider.pivots;
+      rec.mode = std::string(arena::provider_mode_name(mode));
+      rec.rounds = result.base.rounds;
+      rec.moves = result.base.moves.size();
+      rec.evaluations = result.base.evaluations;
+      rec.effective_sweeps = result.base.sweeps.effective_sweeps();
+      rec.pruned = result.base.sweeps.pruned;
+      rec.converged =
+          result.base.outcome == topology::dynamics_outcome::converged;
+      rec.joins = result.joins;
+      rec.leaves = result.leaves;
+      rec.conservation_gap = result.ledger.conservation_gap();
+      rec.final_shape =
+          topology::classify_topology(result.base.state.graph());
+      rec.wall_ms = best_ms;
+      if (mode == arena::provider_mode::incremental &&
+          rec.effective_sweeps > 0) {
+        rec.sweep_reduction =
+            static_cast<double>(records.back().effective_sweeps) /
+            static_cast<double>(rec.effective_sweeps);
+      }
+      records.push_back(rec);
+      t.add_row({rec.family, static_cast<long long>(n),
+                 static_cast<long long>(rec.channels_start), rec.oracle,
+                 rec.mode, static_cast<long long>(rec.rounds),
+                 static_cast<long long>(rec.moves),
+                 static_cast<long long>(rec.evaluations),
+                 static_cast<long long>(rec.effective_sweeps),
+                 static_cast<long long>(rec.pruned), rec.sweep_reduction,
+                 rec.final_shape, rec.wall_ms});
+      results.push_back(std::move(result));
+    }
+    const arena::population_result& a = results[0];
+    const arena::population_result& b = results[1];
+    return equal_runs(a.base, b.base) && a.joins == b.joins &&
+           a.leaves == b.leaves && a.active == b.active &&
+           a.ledger.deposited == b.ledger.deposited &&
+           a.ledger.refunded == b.ledger.refunded &&
+           a.ledger.open_value == b.ledger.open_value &&
+           a.ledger.locked == b.ledger.locked;
+  };
 
   for (const std::size_t n : config.sizes) {
     rng gen(n);
@@ -159,17 +264,8 @@ int run(const bench_config& config) {
 
     for (const arena::oracle_kind oracle :
          {arena::oracle_kind::greedy, arena::oracle_kind::local}) {
-      arena::arena_options options;
+      arena::arena_options options = base_options();
       options.oracle = oracle;
-      options.order = arena::activation_order::round_robin;
-      options.seed = 42;
-      options.max_rounds = 24;
-      options.oracle_opts.candidate_k = 3;
-      options.oracle_opts.candidate_random = 0;
-      options.oracle_opts.max_channels = 3;
-      options.provider.exact_threshold = 96;
-      options.provider.pivots = 16;
-      options.provider.seed = 42;
 
       std::vector<arena::arena_result> results;
       for (const arena::provider_mode mode :
@@ -208,7 +304,7 @@ int run(const bench_config& config) {
               static_cast<double>(rec.effective_sweeps);
         }
         records.push_back(rec);
-        t.add_row({static_cast<long long>(n),
+        t.add_row({rec.family, static_cast<long long>(n),
                    static_cast<long long>(rec.channels_start), rec.oracle,
                    rec.mode, static_cast<long long>(rec.rounds),
                    static_cast<long long>(rec.moves),
@@ -222,6 +318,56 @@ int run(const bench_config& config) {
         std::cerr << "bench_arena: FULL vs INCREMENTAL divergence at n=" << n
                   << " oracle=" << arena::oracle_name(oracle)
                   << " — the incremental mode must be bitwise-exact\n";
+        return 1;
+      }
+    }
+
+    // Heterogeneous population (ISSUE 9): mean-preserving lognormal
+    // per-player (a, b, l), sigma 0.5, over the same ws start. The
+    // full/incremental equality gate now also covers the per-player
+    // evaluation path.
+    {
+      arena::population_options popts;
+      popts.base = base_options();
+      dist::cost_param_specs specs;
+      specs.a = {dist::param_dist::lognormal, params.a, 0.5};
+      specs.b = {dist::param_dist::lognormal, params.b, 0.5};
+      specs.l = {dist::param_dist::lognormal, params.l, 0.5};
+      rng param_stream(0x452821e638d01377ULL ^ n);
+      popts.player_params = dist::draw_population(specs, n, param_stream);
+      if (!run_population_pair("hetero", start, popts)) {
+        std::cerr << "bench_arena: FULL vs INCREMENTAL divergence at n=" << n
+                  << " family=hetero — the incremental mode must be "
+                     "bitwise-exact under per-player params\n";
+        return 1;
+      }
+    }
+
+    // Churning population (ISSUE 9): 2n/3 initial players over a ws core
+    // (spare slots isolated), 8 joins + 8 leaves in the first half of the
+    // round budget, deposit ledger tracked. The equality gate covers the
+    // churn counts and every ledger field; conservation_gap lands in the
+    // JSON so CI can assert it is exactly 0.
+    {
+      const std::size_t initial = 2 * n / 3;
+      arena::population_options popts;
+      popts.base = base_options();
+      popts.initial_players = initial;
+      popts.churn = arena::make_churn_schedule(
+          n, initial, 8, 8, popts.base.max_rounds / 2,
+          0xb5470917c2a7f64dULL ^ n);
+      popts.track_ledger = true;
+
+      rng churn_gen(n);
+      const graph::digraph core =
+          runner::make_topology("ws", initial, churn_gen);
+      graph::digraph churn_start(n);
+      for (const topology::channel_pair& ch : topology::channel_pairs(core))
+        churn_start.add_bidirectional(ch.a, ch.b);
+      if (!run_population_pair("churn", churn_start, popts)) {
+        std::cerr << "bench_arena: FULL vs INCREMENTAL divergence at n=" << n
+                  << " family=churn — the incremental mode must be "
+                     "bitwise-exact under churn\n";
         return 1;
       }
     }

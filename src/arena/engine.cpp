@@ -1,9 +1,9 @@
 #include "arena/engine.h"
 
-#include <algorithm>
-#include <numeric>
-#include <set>
+#include <string>
+#include <utility>
 
+#include "arena/population.h"
 #include "util/error.h"
 
 namespace lcg::arena {
@@ -26,127 +26,15 @@ std::string_view order_name(activation_order order) {
   return "?";
 }
 
-namespace {
-
-/// splitmix64 step (same generator rng's seeding expands through): the
-/// per-player streams are seed -> mix(seed + (u+1) * golden) so players'
-/// draws are independent of one another and of the schedule stream.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-/// A proposal is structurally applicable iff every removed channel still
-/// exists and every added channel still doesn't (simultaneous mode: an
-/// earlier-applied proposal may have consumed either side).
-bool applicable(const strategy_state& state, const topology::deviation& dev) {
-  for (const graph::node_id peer : dev.removed_peers) {
-    if (!state.connected(dev.deviator, peer)) return false;
-  }
-  for (const graph::node_id peer : dev.added_peers) {
-    if (peer == dev.deviator || state.connected(dev.deviator, peer))
-      return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 arena_result run_arena(const graph::digraph& start,
                        const topology::game_params& params,
                        const arena_options& options) {
-  params.validate();
-  arena_result result;
-  result.state = strategy_state(start);
-  const std::size_t n = start.node_count();
-
-  utility_provider provider(params, options.provider);
-  std::vector<rng> streams;
-  streams.reserve(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    streams.emplace_back(
-        splitmix64(options.seed + 0x9e3779b97f4a7c15ULL * (u + 1)));
-  }
-  rng schedule(splitmix64(options.seed ^ 0xa5c3ab9471bd0017ULL));
-
-  std::set<std::uint64_t> seen{topology::topology_fingerprint(
-      result.state.graph())};
-
-  const auto propose = [&](graph::node_id u,
-                           const std::vector<double>& scores) {
-    return propose_move(options.oracle, result.state, u, provider,
-                        options.oracle_opts, scores, streams[u]);
-  };
-  const auto apply = [&](std::size_t round, const topology::deviation& dev) {
-    result.state.apply(dev);
-    result.total_gain += dev.gain();
-    result.moves.push_back(arena_move{round, dev});
-  };
-
-  for (std::size_t round = 0; round < options.max_rounds; ++round) {
-    ++result.rounds;
-    // The candidate-ranking signal is refreshed once per round (cheaper
-    // than per activation, and what makes the simultaneous snapshot
-    // well-defined); the brute oracle never reads it.
-    const std::vector<double> scores =
-        options.oracle == oracle_kind::brute
-            ? std::vector<double>()
-            : provider.node_scores(result.state.graph());
-
-    std::size_t applied = 0;
-    if (options.order == activation_order::simultaneous) {
-      std::vector<topology::deviation> proposals;
-      for (graph::node_id u = 0; u < n; ++u) {
-        if (auto dev = propose(u, scores)) proposals.push_back(*dev);
-      }
-      result.proposals += proposals.size();
-      std::sort(proposals.begin(), proposals.end(),
-                [](const topology::deviation& a, const topology::deviation& b) {
-                  if (a.gain() != b.gain()) return a.gain() > b.gain();
-                  return a.deviator < b.deviator;
-                });
-      // The first proposal in sorted order is always applicable (the
-      // snapshot was unmutated when it was computed), so a non-empty
-      // proposal set applies at least one move.
-      for (const topology::deviation& dev : proposals) {
-        if (!applicable(result.state, dev)) continue;
-        apply(round, dev);
-        ++applied;
-      }
-      if (proposals.empty()) {
-        result.outcome = topology::dynamics_outcome::converged;
-        break;
-      }
-    } else {
-      std::vector<graph::node_id> sequence(n);
-      std::iota(sequence.begin(), sequence.end(), 0);
-      if (options.order == activation_order::random)
-        schedule.shuffle(sequence);
-      for (const graph::node_id u : sequence) {
-        const std::optional<topology::deviation> dev = propose(u, scores);
-        if (!dev) continue;
-        ++result.proposals;
-        apply(round, *dev);
-        ++applied;
-      }
-      if (applied == 0) {
-        result.outcome = topology::dynamics_outcome::converged;
-        break;
-      }
-    }
-
-    const std::uint64_t fp =
-        topology::topology_fingerprint(result.state.graph());
-    if (!seen.insert(fp).second) {
-      result.outcome = topology::dynamics_outcome::cycled;
-      break;
-    }
-  }
-  result.evaluations = provider.evaluations();
-  result.sweeps = provider.stats();
-  return result;
+  // The static arena is the degenerate population: homogeneous params, no
+  // churn, no ledger. run_population's contract makes this bitwise
+  // identical to the historical loop (arena/population.h).
+  population_options popts;
+  popts.base = options;
+  return std::move(run_population(start, params, popts).base);
 }
 
 }  // namespace lcg::arena

@@ -157,13 +157,13 @@ double candidate_evaluator::base_value() {
   sweep_stats& stats = provider_.mutable_stats();
   session& ses = *session_;
   const topology::game_params& p = provider_.params();
-  const lazy_prob_rows rows(work_, p.s, p.basis);
+  const lazy_prob_rows rows(work_, p.s, p.basis, provider_.active());
 
   const std::vector<std::int32_t> dist_u = graph::bfs_distances(work_, u_);
   ++stats.support_bfs;
-  const double fees = fees_of(rows.row(u_), dist_u, u_, p.a);
-  const double cost =
-      p.l * p.cost_share * static_cast<double>(work_.out_degree(u_));
+  const double fees = fees_of(rows.row(u_), dist_u, u_, provider_.a_of(u_));
+  const double cost = provider_.l_of(u_) * p.cost_share *
+                      static_cast<double>(work_.out_degree(u_));
 
   double acc = 0.0;
   for (std::size_t i = 0; i < ses.plan.sources.size(); ++i) {
@@ -175,7 +175,7 @@ double candidate_evaluator::base_value() {
     ++stats.accumulations;
     acc += ses.plan.scale * ses.delta[u_];
   }
-  const double revenue = p.b * acc;
+  const double revenue = provider_.b_of(u_) * acc;
   return std::isinf(fees) ? -inf : revenue - fees - cost;
 }
 
@@ -244,12 +244,12 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
   }
 
   toggle_diff(set, /*on=*/true);
-  const lazy_prob_rows rows(work_, p.s, p.basis);
+  const lazy_prob_rows rows(work_, p.s, p.basis, provider_.active());
   const std::vector<std::int32_t> fee_dist = graph::bfs_distances(work_, u_);
   ++stats.support_bfs;
-  const double fees = fees_of(rows.row(u_), fee_dist, u_, p.a);
-  const double cost =
-      p.l * p.cost_share * static_cast<double>(work_.out_degree(u_));
+  const double fees = fees_of(rows.row(u_), fee_dist, u_, provider_.a_of(u_));
+  const double cost = provider_.l_of(u_) * p.cost_share *
+                      static_cast<double>(work_.out_degree(u_));
   if (std::isinf(fees)) {
     // total is -inf no matter what revenue is (the full path computes the
     // same guard), so no sweep is needed at all.
@@ -308,7 +308,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
       ses.ub_src[i] = ses.plan.scale * dot;
       ub_acc += ses.ub_src[i];
     }
-    const double ub_total = p.b * ub_acc - fees - cost;
+    const double ub_total = provider_.b_of(u_) * ub_acc - fees - cost;
     // Safety margin: the dot products reassociate the accumulation's float
     // sums, so pad the bound before comparing against the threshold. The
     // oracles accept only on STRICT improvement past the threshold, so a
@@ -348,7 +348,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
     };
     if (ses.affected[i]) {
       if (bounding) {
-        const double potential = p.b * (acc + suffix[i]) - fees - cost;
+        const double potential = provider_.b_of(u_) * (acc + suffix[i]) - fees - cost;
         const double margin = 1e-6 + 1e-9 * std::abs(potential);
         if (potential + margin <= threshold_) {
           ++stats.truncated;
@@ -365,7 +365,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
     }
     acc += ses.plan.scale * ses.delta[u_];
   }
-  const double revenue = p.b * acc;
+  const double revenue = provider_.b_of(u_) * acc;
   toggle_diff(set, /*on=*/false);
   return revenue - fees - cost;
 }

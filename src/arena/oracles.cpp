@@ -31,16 +31,23 @@ namespace {
 /// Candidate peers for NEW channels of `u`: the top-`candidate_k` eligible
 /// nodes by (score desc, id asc), then exactly `candidate_random` draws
 /// from the player's private stream (duplicates dropped, draw count fixed
-/// so the stream advances identically every activation).
+/// so the stream advances identically every activation). Players masked
+/// out by the provider's active mask (departed churners) are ineligible;
+/// a null mask — the static arena — reproduces the historical eligible
+/// list exactly, stream draws included.
 std::vector<graph::node_id> add_candidates(const strategy_state& state,
                                            graph::node_id u,
+                                           const utility_provider& provider,
                                            const oracle_options& options,
                                            const std::vector<double>& scores,
                                            rng& stream) {
   const graph::digraph& g = state.graph();
+  const std::vector<char>* active = provider.active();
   std::vector<graph::node_id> eligible;
   for (graph::node_id v = 0; v < g.node_count(); ++v) {
-    if (v != u && !state.connected(u, v)) eligible.push_back(v);
+    if (v != u && (active == nullptr || (*active)[v]) &&
+        !state.connected(u, v))
+      eligible.push_back(v);
   }
   std::vector<graph::node_id> picked;
   if (options.candidate_k > 0 && !eligible.empty()) {
@@ -85,7 +92,7 @@ std::optional<topology::deviation> greedy_propose(
     const std::vector<double>& scores, rng& stream) {
   const std::vector<graph::node_id>& own = state.owned(u);
   const std::vector<graph::node_id> adds =
-      add_candidates(state, u, options, scores, stream);
+      add_candidates(state, u, provider, options, scores, stream);
 
   std::vector<graph::node_id> candidates = own;
   candidates.insert(candidates.end(), adds.begin(), adds.end());
@@ -130,7 +137,7 @@ std::optional<topology::deviation> local_propose(
     const std::vector<double>& scores, rng& stream) {
   const std::vector<graph::node_id>& own = state.owned(u);
   const std::vector<graph::node_id> adds =
-      add_candidates(state, u, options, scores, stream);
+      add_candidates(state, u, provider, options, scores, stream);
   candidate_evaluator evaluator(provider, state.graph(), u, own, adds);
   const double base = evaluator.base_value();
 
@@ -185,7 +192,12 @@ std::optional<topology::deviation> propose_move(
     case oracle_kind::brute:
       // The exhaustive reference: exact utilities (topology/game.h), no
       // provider involvement, identical tie-breaking to topo/best_response.
-      return topology::best_deviation(state.graph(), u, provider.params(),
+      // Per-player params thread through params_for(u) (identical to
+      // params() for homogeneous populations); best_deviation enumerates
+      // every node as a potential peer, so the brute oracle is incompatible
+      // with an active mask (run_population rejects that combination).
+      LCG_EXPECTS(provider.active() == nullptr);
+      return topology::best_deviation(state.graph(), u, provider.params_for(u),
                                       topology::deviation_limits{},
                                       options.tolerance);
   }

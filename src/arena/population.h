@@ -1,0 +1,120 @@
+// The population engine: heterogeneous, churning arena runs.
+//
+// run_population generalises run_arena (arena/engine.h) along three axes
+// the paper holds fixed:
+//
+//   * HETEROGENEITY — per-player core::cost_params (a, b, l) drawn from
+//     dist/param_sampler specs. The utility provider re-derives every
+//     term per evaluated player (provider.a_of/b_of/l_of); the brute
+//     oracle receives params_for(u).
+//   * CHURN — a schedule of join/leave events processed at the start of
+//     their round. A joiner starts isolated and immediately proposes its
+//     entry move through the run's oracle (the Section III optimisers as
+//     entry strategies: the greedy oracle IS Algorithm 1's engine). A
+//     leaver tears down every incident channel (strategy_state::detach);
+//     with the ledger enabled each closed channel refunds its deposits
+//     through pcn::network, and departed players drop out of the Zipf
+//     demand universe via the provider's active mask.
+//   * LEDGER — an optional pcn::network mirror of the strategy state:
+//     every opened channel deposits `deposit_per_side` per endpoint, every
+//     close refunds through the settled ledger. Conservation
+//     (deposited == refunded + open value + in-flight locks) is exact and
+//     property-tested across random churn schedules.
+//
+// DEGENERATE-EQUIVALENCE CONTRACT: with an empty churn schedule, no
+// initial spares and point-mass (or absent) per-player params, the engine
+// executes the static arena's exact instruction sequence — same rng draws,
+// same provider arithmetic, same fingerprints — so run_arena is a thin
+// wrapper over run_population and the replay is byte-identical across
+// provider modes and thread budgets (tests/arena_population_test.cpp pins
+// this move for move at n <= 6 against the brute oracle and at n = 120).
+
+#ifndef LCG_ARENA_POPULATION_H
+#define LCG_ARENA_POPULATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arena/engine.h"
+#include "core/params.h"
+
+namespace lcg::arena {
+
+/// One churn event, processed at the START of `round` (before any player
+/// of that round activates). Events must be sorted by round; several
+/// events may share a round (their listed order is the processing order).
+struct churn_event {
+  std::size_t round = 0;
+  bool join = false;  ///< true: `player` joins; false: `player` leaves
+  graph::node_id player = graph::invalid_node;
+};
+
+struct churn_schedule {
+  std::vector<churn_event> events;
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+/// Deterministic random schedule over `node_count` node slots: players
+/// [0, initial) start active, [initial, node_count) are spare slots that
+/// join later. `joins` join events draw freed ids first (a departed
+/// player's slot is re-used before a fresh spare), then fresh spares;
+/// `leaves` leave events pick a uniform active player. Event rounds are
+/// uniform in [1, max_rounds - 1]. Events that would be invalid when their
+/// turn comes (no spare left, or the active population would drop below
+/// 2) are skipped, so the schedule may hold fewer than joins + leaves
+/// events. Fully determined by the arguments.
+[[nodiscard]] churn_schedule make_churn_schedule(
+    std::size_t node_count, std::size_t initial, std::size_t joins,
+    std::size_t leaves, std::size_t max_rounds, std::uint64_t seed);
+
+/// Deposit/refund ledger summary of a tracked run. Conservation:
+/// deposited == refunded + open_value + locked, exactly (every quantity
+/// is a sum of the same doubles that entered it).
+struct population_ledger {
+  double deposited = 0.0;   ///< total paid into opened channels
+  double refunded = 0.0;    ///< total returned by closed channels
+  double open_value = 0.0;  ///< balances + locks still in open channels
+  double locked = 0.0;      ///< in-flight HTLC locks (part of open_value)
+  std::size_t channels_opened = 0;
+  std::size_t channels_closed = 0;
+  [[nodiscard]] double conservation_gap() const noexcept {
+    return deposited - refunded - open_value;
+  }
+};
+
+struct population_options {
+  /// The static arena's knobs (oracle, order, provider, rounds, seed).
+  arena_options base;
+  /// Per-player (a, b, l); empty = homogeneous (base params everywhere).
+  /// Size must equal the start graph's node count when non-empty.
+  std::vector<core::cost_params> player_params;
+  /// Join/leave events. Brute oracle + churn is rejected (best_deviation
+  /// cannot see the active mask).
+  churn_schedule churn;
+  /// Players [0, initial_players) start active; the rest are spare slots
+  /// (they must be isolated in the start graph). 0 = everyone active.
+  std::size_t initial_players = 0;
+  /// Mirror every channel into a pcn::network and track deposits/refunds.
+  bool track_ledger = false;
+  double deposit_per_side = 4.0;
+  /// On-chain cost C of the mirror network's open/close accounting.
+  double onchain_cost = 0.0;
+};
+
+struct population_result {
+  arena_result base;          ///< exactly run_arena's result fields
+  std::size_t joins = 0;      ///< join events executed
+  std::size_t leaves = 0;     ///< leave events executed
+  std::vector<char> active;   ///< final mask; empty for a static run
+  population_ledger ledger;   ///< zeros unless track_ledger
+};
+
+/// Runs the population engine. With default-constructed population knobs
+/// this IS run_arena (bitwise).
+[[nodiscard]] population_result run_population(
+    const graph::digraph& start, const topology::game_params& params,
+    const population_options& options);
+
+}  // namespace lcg::arena
+
+#endif  // LCG_ARENA_POPULATION_H

@@ -54,6 +54,12 @@ utility_provider::utility_provider(topology::game_params params,
   LCG_EXPECTS(options_.pivots > 0);
 }
 
+void utility_provider::set_player_params(
+    std::vector<core::cost_params> per_player) {
+  for (const core::cost_params& p : per_player) p.validate();
+  per_player_ = std::move(per_player);
+}
+
 graph::betweenness_options utility_provider::backend_for(
     std::size_t n) const {
   graph::betweenness_options backend;
@@ -90,22 +96,22 @@ topology::utility_breakdown utility_provider::evaluate(
   ++evaluations_;
   const graph::betweenness_options backend = backend_for(g.node_count());
   stats_.full_sweeps += swept_sources(backend, g.node_count() - 1);
-  const lazy_prob_rows rows(g, params_.s, params_.basis);
+  const lazy_prob_rows rows(g, params_.s, params_.basis, active_);
   // One O(n + m) freeze buys the whole sweep flat-array locality; the frozen
   // view is bitwise-equivalent to the adjacency path on every backend, so
   // every pinned result upstream is unchanged.
   const graph::csr_graph frozen = graph::freeze(g);
   topology::utility_breakdown out;
   out.revenue =
-      params_.b *
+      b_of(u) *
       graph::node_betweenness_of(
           frozen, u,
           [&rows](graph::node_id s, graph::node_id t) { return rows.row(s)[t]; },
           backend);
   out.fees =
-      fees_of(rows.row(u), graph::bfs_distances(frozen, u), u, params_.a);
+      fees_of(rows.row(u), graph::bfs_distances(frozen, u), u, a_of(u));
   out.cost =
-      params_.l * params_.cost_share * static_cast<double>(g.out_degree(u));
+      l_of(u) * params_.cost_share * static_cast<double>(g.out_degree(u));
   out.total = std::isinf(out.fees) ? -inf : out.revenue - out.fees - out.cost;
   return out;
 }
@@ -114,7 +120,7 @@ std::vector<double> utility_provider::node_scores(
     const graph::digraph& g) const {
   const graph::betweenness_options backend = backend_for(g.node_count());
   stats_.full_sweeps += swept_sources(backend, g.node_count());
-  const lazy_prob_rows rows(g, params_.s, params_.basis);
+  const lazy_prob_rows rows(g, params_.s, params_.basis, active_);
   const graph::csr_graph frozen = graph::freeze(g);
   const graph::betweenness_result bw = graph::weighted_betweenness(
       frozen,

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/params.h"
 #include "dist/zipf.h"
 #include "graph/betweenness.h"
 #include "topology/game.h"
@@ -104,13 +105,18 @@ struct sweep_stats {
 /// both evaluation paths materialise byte-identical rows.
 class lazy_prob_rows {
  public:
-  lazy_prob_rows(const graph::digraph& g, double s, dist::rank_basis basis)
-      : g_(g), s_(s), basis_(basis), rows_(g.node_count()),
+  /// `active` restricts the receiver universe to masked-in nodes
+  /// (dist::transaction_probabilities' mask-aware overload); nullptr — the
+  /// only value the static arena ever passes — delegates to the historical
+  /// unmasked path bit for bit.
+  lazy_prob_rows(const graph::digraph& g, double s, dist::rank_basis basis,
+                 const std::vector<char>* active = nullptr)
+      : g_(g), s_(s), basis_(basis), active_(active), rows_(g.node_count()),
         ready_(g.node_count(), 0) {}
 
   const std::vector<double>& row(graph::node_id u) const {
     if (!ready_[u]) {
-      rows_[u] = dist::transaction_probabilities(g_, u, s_, basis_);
+      rows_[u] = dist::transaction_probabilities(g_, u, s_, basis_, active_);
       ready_[u] = 1;
     }
     return rows_[u];
@@ -120,6 +126,7 @@ class lazy_prob_rows {
   const graph::digraph& g_;
   double s_;
   dist::rank_basis basis_;
+  const std::vector<char>* active_;
   mutable std::vector<std::vector<double>> rows_;
   mutable std::vector<char> ready_;
 };
@@ -141,6 +148,56 @@ class utility_provider {
   }
   [[nodiscard]] const provider_options& options() const noexcept {
     return options_;
+  }
+
+  // --- population heterogeneity -----------------------------------------
+  //
+  // Per-player (a, b, l) triples and an active-player mask, both optional.
+  // The Section IV utility touches a/b/l ONLY as scalars of the evaluated
+  // node (the betweenness sweep itself is parameter-independent), so
+  // heterogeneity threads through as three per-u accessors. When the
+  // per-player table is empty — or holds the exact global triple, the
+  // point-mass degenerate — every accessor returns the very same double the
+  // homogeneous path reads, which is what keeps the population engine
+  // bit-identical to the static arena.
+
+  /// Installs per-player triples (size = node count; validated) or clears
+  /// them (empty vector).
+  void set_player_params(std::vector<core::cost_params> per_player);
+  [[nodiscard]] const std::vector<core::cost_params>& player_params()
+      const noexcept {
+    return per_player_;
+  }
+
+  /// Non-owning active mask (size = node count) or nullptr = everyone
+  /// active. The caller keeps the vector alive and mutates it between
+  /// evaluations (the population engine flips entries on churn events).
+  void set_active(const std::vector<char>* active) noexcept {
+    active_ = active;
+  }
+  [[nodiscard]] const std::vector<char>* active() const noexcept {
+    return active_;
+  }
+
+  [[nodiscard]] double a_of(graph::node_id u) const {
+    return per_player_.empty() ? params_.a : per_player_[u].a;
+  }
+  [[nodiscard]] double b_of(graph::node_id u) const {
+    return per_player_.empty() ? params_.b : per_player_[u].b;
+  }
+  [[nodiscard]] double l_of(graph::node_id u) const {
+    return per_player_.empty() ? params_.l : per_player_[u].l;
+  }
+
+  /// Full game_params as player `u` sees them: the global s / cost_share /
+  /// basis with u's own (a, b, l). What the brute oracle hands to
+  /// topology::best_deviation.
+  [[nodiscard]] topology::game_params params_for(graph::node_id u) const {
+    topology::game_params p = params_;
+    p.a = a_of(u);
+    p.b = b_of(u);
+    p.l = l_of(u);
+    return p;
   }
 
   /// Backend the provider would use for an n-node graph (threshold switch).
@@ -187,6 +244,8 @@ class utility_provider {
  private:
   topology::game_params params_;
   provider_options options_;
+  std::vector<core::cost_params> per_player_;
+  const std::vector<char>* active_ = nullptr;
   mutable std::uint64_t evaluations_ = 0;
   mutable sweep_stats stats_;
   mutable std::shared_ptr<base_dag_cache> dag_cache_;

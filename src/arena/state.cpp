@@ -41,6 +41,25 @@ void strategy_state::apply(const topology::deviation& dev) {
     add_channel(dev.deviator, peer);
 }
 
+std::vector<std::pair<graph::node_id, graph::node_id>> strategy_state::detach(
+    graph::node_id u) {
+  // Snapshot the incident peers first: removing mutates u's adjacency.
+  std::vector<graph::node_id> peers;
+  graph_.for_each_out(u, [&](graph::edge_id, const graph::edge& e) {
+    peers.push_back(e.dst);
+  });
+  std::vector<std::pair<graph::node_id, graph::node_id>> closed;
+  closed.reserve(peers.size());
+  for (const graph::node_id peer : peers) {
+    const auto& set = owned_[u];
+    const bool u_owns = std::find(set.begin(), set.end(), peer) != set.end();
+    closed.emplace_back(u_owns ? u : peer, u_owns ? peer : u);
+    remove_channel(u, peer);
+  }
+  LCG_ENSURES(graph_.out_degree(u) == 0 && owned_[u].empty());
+  return closed;
+}
+
 void strategy_state::remove_channel(graph::node_id a, graph::node_id b) {
   const graph::edge_id forward = graph_.find_edge(a, b);
   const graph::edge_id reverse = graph_.find_edge(b, a);

@@ -64,6 +64,13 @@ class strategy_state {
   /// channels exist, added ones don't.
   void apply(const topology::deviation& dev);
 
+  /// Tears down EVERY channel incident to `u` — owned by u or by a
+  /// counterparty — leaving u isolated (a churning player's departure).
+  /// Returns the closed channels as (owner, peer) pairs in u's adjacency
+  /// order, so callers can refund deposits per channel deterministically.
+  std::vector<std::pair<graph::node_id, graph::node_id>> detach(
+      graph::node_id u);
+
   /// Total channels currently owned across all players.
   [[nodiscard]] std::size_t channel_count() const noexcept {
     return graph_.edge_count() / 2;

@@ -27,6 +27,24 @@ enum class counterparty_deposit {
   match,  // the counterparty mirrors the deposit (symmetric capacity)
 };
 
+/// Per-player scalars of the Section IV utility (a = N_u * f^T_avg,
+/// b = N_v * f_avg, l = per-channel cost). The paper fixes one triple for
+/// every player; the arena's population engine draws one per player from a
+/// dist::param_sampler spec, so hubs can be cheap for some and expensive
+/// for others. The Zipf exponent s and cost_share stay global — they
+/// describe the demand process and accounting convention, not a player.
+struct cost_params {
+  double a = 1.0;
+  double b = 1.0;
+  double l = 1.0;
+
+  void validate() const {
+    LCG_EXPECTS(a >= 0.0);
+    LCG_EXPECTS(b >= 0.0);
+    LCG_EXPECTS(l >= 0.0);
+  }
+};
+
 struct model_params {
   double onchain_cost = 1.0;       ///< C: miner fee of one on-chain tx
   double opportunity_rate = 0.01;  ///< r: opportunity cost rate (l = r * c)

@@ -1,0 +1,87 @@
+#include "dist/param_sampler.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace lcg::dist {
+
+param_dist param_dist_from_name(std::string_view name) {
+  if (name == "point") return param_dist::point;
+  if (name == "lognormal") return param_dist::lognormal;
+  throw precondition_error("unknown param distribution '" + std::string(name) +
+                           "' (expected point|lognormal)");
+}
+
+std::string_view param_dist_name(param_dist kind) {
+  switch (kind) {
+    case param_dist::point:
+      return "point";
+    case param_dist::lognormal:
+      return "lognormal";
+  }
+  throw precondition_error("invalid param_dist value");
+}
+
+void param_spec::validate() const {
+  LCG_EXPECTS(mean >= 0.0);
+  LCG_EXPECTS(sigma >= 0.0);
+  if (kind == param_dist::lognormal) LCG_EXPECTS(mean > 0.0);
+}
+
+namespace {
+
+/// One standard normal via Box–Muller (two uniform01 draws, always both
+/// consumed so the stream position is a pure function of the draw count).
+double standard_normal(rng& stream) {
+  const double u1 = stream.uniform01();
+  const double u2 = stream.uniform01();
+  // uniform01 is in [0, 1); flip to (0, 1] so the log never sees zero.
+  const double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+double param_spec::draw(rng& stream) const {
+  validate();
+  switch (kind) {
+    case param_dist::point:
+      return mean;
+    case param_dist::lognormal: {
+      // Mean-parameterised: X = exp(mu + sigma Z) with
+      // mu = ln(mean) - sigma^2 / 2 gives E[X] = mean for any sigma.
+      const double mu = std::log(mean) - 0.5 * sigma * sigma;
+      return std::exp(mu + sigma * standard_normal(stream));
+    }
+  }
+  throw precondition_error("invalid param_dist value");
+}
+
+void cost_param_specs::validate() const {
+  a.validate();
+  b.validate();
+  l.validate();
+}
+
+core::cost_params draw_cost_params(const cost_param_specs& specs,
+                                   rng& stream) {
+  core::cost_params p;
+  p.a = specs.a.draw(stream);
+  p.b = specs.b.draw(stream);
+  p.l = specs.l.draw(stream);
+  p.validate();
+  return p;
+}
+
+std::vector<core::cost_params> draw_population(const cost_param_specs& specs,
+                                               std::size_t n, rng& stream) {
+  specs.validate();
+  std::vector<core::cost_params> out;
+  out.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) out.push_back(draw_cost_params(specs, stream));
+  return out;
+}
+
+}  // namespace lcg::dist

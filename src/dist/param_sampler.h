@@ -1,0 +1,75 @@
+// Per-player cost-parameter sampling for heterogeneous populations.
+//
+// The paper (Section III-IV) fixes one (a, b, l) triple for every player.
+// The arena's population engine instead draws a core::cost_params per
+// player from a pluggable spec: a point mass (every draw returns exactly
+// the mean — the degenerate configuration the equivalence tests pin
+// against the homogeneous engine) or a mean-parameterised lognormal
+// (E[X] = mean for any sigma, so sweeping the skew never shifts the
+// population average the comparison cares about).
+//
+// Determinism: all draws come from ONE caller-provided rng stream, in
+// (player, then a, b, l) order. A point-mass component consumes no draws,
+// so mixing point and lognormal components across the three fields keeps
+// each field's draw subsequence well-defined.
+
+#ifndef LCG_DIST_PARAM_SAMPLER_H
+#define LCG_DIST_PARAM_SAMPLER_H
+
+#include <string_view>
+#include <vector>
+
+#include "core/params.h"
+#include "util/rng.h"
+
+namespace lcg::dist {
+
+enum class param_dist { point, lognormal };
+
+/// Parses "point" / "lognormal"; throws precondition_error otherwise
+/// (scenario and CLI parameter surface).
+[[nodiscard]] param_dist param_dist_from_name(std::string_view name);
+[[nodiscard]] std::string_view param_dist_name(param_dist kind);
+
+/// One scalar component: a point mass at `mean`, or a lognormal with
+/// E[X] = mean and shape `sigma` (the sigma of the underlying normal;
+/// sigma = 0 degenerates to the point mass arithmetically but still
+/// consumes its draws — use kind = point for the draw-free degenerate).
+struct param_spec {
+  param_dist kind = param_dist::point;
+  double mean = 1.0;
+  double sigma = 0.0;
+
+  void validate() const;
+  /// One value; point specs return `mean` exactly and consume no draws.
+  [[nodiscard]] double draw(rng& stream) const;
+};
+
+/// The three per-player components of core::cost_params.
+struct cost_param_specs {
+  param_spec a;
+  param_spec b;
+  param_spec l;
+
+  void validate() const;
+  /// All three point masses (a population drawn from this is exactly the
+  /// homogeneous one — the degenerate-equivalence configuration).
+  [[nodiscard]] bool degenerate() const noexcept {
+    return a.kind == param_dist::point && b.kind == param_dist::point &&
+           l.kind == param_dist::point;
+  }
+};
+
+/// One player's triple, drawn in a, b, l order from `stream`.
+[[nodiscard]] core::cost_params draw_cost_params(const cost_param_specs& specs,
+                                                 rng& stream);
+
+/// `n` players' triples from one stream, player-major order. Element u is
+/// what player u would have drawn joining u-th — the population engine
+/// draws spares up front so mid-run joiners get stable parameters.
+[[nodiscard]] std::vector<core::cost_params> draw_population(
+    const cost_param_specs& specs, std::size_t n, rng& stream);
+
+}  // namespace lcg::dist
+
+#endif  // LCG_DIST_PARAM_SAMPLER_H

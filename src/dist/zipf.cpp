@@ -93,6 +93,40 @@ std::vector<double> transaction_probabilities(const graph::digraph& g,
   return sender_row(g, u, s, basis);
 }
 
+std::vector<double> transaction_probabilities(const graph::digraph& g,
+                                              graph::node_id u, double s,
+                                              rank_basis basis,
+                                              const std::vector<char>* active) {
+  if (active == nullptr) return sender_row(g, u, s, basis);
+  LCG_EXPECTS(active->size() == g.node_count());
+  LCG_EXPECTS(g.has_node(u));
+  // A departed sender generates no demand at all: betweenness sweeps may
+  // still pick it as a source (it is a node of the shared graph), and an
+  // all-zero row makes its contribution vanish instead of tripping.
+  if (!(*active)[u]) return std::vector<double>(g.node_count(), 0.0);
+  const std::vector<std::size_t> deg = in_degrees(
+      g, basis == rank_basis::drop_sender_edges ? u : graph::invalid_node);
+
+  // Rank only the OTHER ACTIVE nodes; departed players stay out of the
+  // receiver universe entirely (their mass is 0, not merely unreachable).
+  std::vector<std::size_t> others;
+  others.reserve(g.node_count() - 1);
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    if (v != u && (*active)[v]) others.push_back(deg[v]);
+  const std::vector<double> rf = rank_factors(others, s);
+
+  std::vector<double> p(g.node_count(), 0.0);
+  double total = 0.0;
+  for (const double f : rf) total += f;
+  if (total <= 0.0) return p;
+  std::size_t i = 0;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (v == u || !(*active)[v]) continue;
+    p[v] = rf[i++] / total;
+  }
+  return p;
+}
+
 std::vector<std::vector<double>> transaction_probability_matrix(
     const graph::digraph& g, double s, rank_basis basis) {
   std::vector<std::vector<double>> rows(g.node_count());

@@ -40,6 +40,17 @@ enum class rank_basis {
     const graph::digraph& g, graph::node_id u, double s,
     rank_basis basis = rank_basis::drop_sender_edges);
 
+/// Mask-aware overload for churning populations: nodes with `active[v]`
+/// false are excluded from the receiver ranking and get p[v] = 0 (a
+/// departed player neither receives demand nor poisons everyone's
+/// reachability term with an unreachable positive-probability receiver).
+/// `active` == nullptr means all nodes active and delegates to the plain
+/// overload, BIT-IDENTICALLY — the arena's degenerate-equivalence contract
+/// rides on that.
+[[nodiscard]] std::vector<double> transaction_probabilities(
+    const graph::digraph& g, graph::node_id u, double s, rank_basis basis,
+    const std::vector<char>* active);
+
 /// All rows at once; row u equals transaction_probabilities(g, u, s, basis).
 [[nodiscard]] std::vector<std::vector<double>> transaction_probability_matrix(
     const graph::digraph& g, double s,

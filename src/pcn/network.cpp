@@ -99,6 +99,38 @@ std::optional<channel_id> network::find_channel(graph::node_id a,
   return std::nullopt;
 }
 
+std::vector<channel_id> network::channels_of(graph::node_id v) const {
+  LCG_EXPECTS(g_.has_node(v));
+  std::vector<channel_id> out;
+  for (channel_id id = 0; id < channels_.size(); ++id) {
+    const channel& ch = channels_[id];
+    if (ch.open && (ch.party_a == v || ch.party_b == v)) out.push_back(id);
+  }
+  return out;
+}
+
+void network::fail_all_htlcs(channel_id id) {
+  LCG_EXPECTS(id < channels_.size());
+  channel& ch = channels_[id];
+  LCG_EXPECTS(ch.open);
+  if (ch.locked_a > 0.0) fail_htlc(ch.edge_ab, ch.locked_a);
+  if (ch.locked_b > 0.0) fail_htlc(ch.edge_ba, ch.locked_b);
+}
+
+std::size_t network::teardown_node(graph::node_id v, bool unilateral) {
+  const std::vector<channel_id> incident = channels_of(v);
+  for (const channel_id id : incident) {
+    fail_all_htlcs(id);
+    const channel& ch = channels_[id];
+    const close_mode mode =
+        !unilateral ? close_mode::collaborative
+        : ch.party_a == v ? close_mode::unilateral_by_a
+                          : close_mode::unilateral_by_b;
+    close_channel(id, mode);
+  }
+  return incident.size();
+}
+
 double network::balance_of(channel_id id, graph::node_id party) const {
   const channel& ch = channel_at(id);
   LCG_EXPECTS(party == ch.party_a || party == ch.party_b);
@@ -224,7 +256,8 @@ payment_result network::execute_payment(graph::node_id sender,
 
 payment_result network::execute_route(graph::node_id sender,
                                       const std::vector<graph::edge_id>& route,
-                                      double amount) {
+                                      double amount,
+                                      const dist::fee_function* fee) {
   LCG_EXPECTS(g_.has_node(sender));
   ++attempted_;
   payment_result result;
@@ -248,7 +281,12 @@ payment_result network::execute_route(graph::node_id sender,
     result.error = payment_error::no_feasible_path;
     return result;
   }
-  settle_payment(sender, route, amount, nullptr, result);
+  if (fee != nullptr) {
+    settle_payment(sender, route, amount,
+                   [&](graph::node_id) { return (*fee)(amount); }, result);
+  } else {
+    settle_payment(sender, route, amount, nullptr, result);
+  }
   return result;
 }
 

@@ -98,6 +98,22 @@ class network {
   std::optional<channel_id> find_channel(graph::node_id a,
                                          graph::node_id b) const;
 
+  /// All open channels with `v` as an endpoint, ascending by id.
+  std::vector<channel_id> channels_of(graph::node_id v) const;
+
+  /// Fails every in-flight HTLC of channel `id` (both directions): all
+  /// locked coins return to their source-side balances. A no-op on a
+  /// channel with nothing locked.
+  void fail_all_htlcs(channel_id id);
+
+  /// Node departure (a churning player leaving the network): fails all
+  /// in-flight HTLCs through v's channels, then closes each one —
+  /// collaboratively by default, or unilaterally by v (v pays the full
+  /// on-chain cost per channel). Every counterparty's coins come back
+  /// through the settled ledger; conservation is exact. Returns the number
+  /// of channels closed.
+  std::size_t teardown_node(graph::node_id v, bool unilateral = false);
+
   /// Balance owned by `party` in channel `id`. `party` must be an endpoint.
   double balance_of(channel_id id, graph::node_id party) const;
 
@@ -143,11 +159,15 @@ class network {
   /// Executes a payment along a caller-chosen edge route (consecutive
   /// active edges, first starting at `sender`). Used for circular
   /// rebalancing self-payments, where sender == receiver is allowed.
-  /// Fails with no_feasible_path if any hop lacks capacity; no fees are
-  /// charged (rebalancing is modelled as free per [30]).
+  /// Fails with no_feasible_path if any hop lacks capacity. Null `fee` —
+  /// the cooperative setting of [30] — charges nothing; a non-null fee is
+  /// what every interior node of the route charges the sender (the
+  /// fee-aware, non-cooperative rebalancing contrast: intermediaries do
+  /// not forward for free).
   payment_result execute_route(graph::node_id sender,
                                const std::vector<graph::edge_id>& route,
-                               double amount);
+                               double amount,
+                               const dist::fee_function* fee = nullptr);
 
   /// Feasibility probe: does a path exist without executing?
   bool payment_feasible(graph::node_id sender, graph::node_id receiver,

@@ -140,6 +140,13 @@ struct scenario {
   /// Every row of a scenario must emit exactly these columns; empty means
   /// undeclared (header then needs executed rows).
   std::vector<std::string> columns;
+  /// Axes that must NOT perturb seed assignment (runner/grid.h): grid
+  /// points differing only in these parameters share a seed, so CI can
+  /// byte-diff rows across them. The provider "mode" axis is always
+  /// seed-neutral; list here additional knobs with the same contract
+  /// (e.g. a scenario's churn or heterogeneity axis, whose degenerate
+  /// value must replay the plain run on the same stream).
+  std::vector<std::string> seed_neutral = {};
 };
 
 }  // namespace lcg::runner

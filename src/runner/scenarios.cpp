@@ -12,10 +12,12 @@
 
 #include "arena/engine.h"
 #include "arena/export.h"
+#include "arena/population.h"
 #include "core/brute_force.h"
 #include "core/continuous.h"
 #include "core/discrete_search.h"
 #include "core/greedy.h"
+#include "dist/param_sampler.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -772,6 +774,234 @@ std::vector<result_row> run_arena_scale_profile(const scenario_context& ctx) {
   return {row};
 }
 
+// --- arena/heterogeneous: per-player (a, b, l) from sampled specs ---------
+
+std::vector<result_row> run_arena_heterogeneous(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 40));
+  const topology::game_params p = game_params_from(ctx);
+
+  arena::population_options popts;
+  popts.base = arena_options_from(
+      ctx, static_cast<long long>(arena::default_exact_threshold));
+
+  // Spec: point masses at the homogeneous (a, b, l) — the degenerate
+  // configuration, byte-identical to arena/best_response on the same
+  // stream — or mean-preserving lognormals with shape `sigma` (E stays at
+  // the homogeneous value, only the skew varies).
+  const dist::param_dist kind =
+      dist::param_dist_from_name(ctx.get_string("dist", "point"));
+  const double sigma = ctx.get_double("sigma", 0.5);
+  dist::cost_param_specs specs;
+  specs.a = {kind, p.a, kind == dist::param_dist::point ? 0.0 : sigma};
+  specs.b = {kind, p.b, kind == dist::param_dist::point ? 0.0 : sigma};
+  specs.l = {kind, p.l, kind == dist::param_dist::point ? 0.0 : sigma};
+  rng param_stream(ctx.seed() ^ 0x452821e638d01377ULL);
+  popts.player_params = dist::draw_population(specs, n, param_stream);
+
+  rng gen = ctx.make_rng();
+  const graph::digraph start = make_topology(topo_name, n, gen);
+  const arena::population_result res =
+      arena::run_population(start, p, popts);
+  const graph::digraph& final_graph = res.base.state.graph();
+
+  // Heterogeneous welfare: each player's utility under its OWN params.
+  double welfare = 0.0;
+  for (graph::node_id u = 0; u < n; ++u) {
+    topology::game_params pu = p;
+    pu.a = popts.player_params[u].a;
+    pu.b = popts.player_params[u].b;
+    pu.l = popts.player_params[u].l;
+    welfare += topology::node_utility(final_graph, u, pu).total;
+  }
+
+  // Does the star emerge around whoever drew cheap channels? Report the
+  // hub's own l against the population spread.
+  std::vector<std::size_t> degree(n, 0);
+  for (const topology::channel_pair& ch :
+       topology::channel_pairs(final_graph)) {
+    ++degree[ch.a];
+    ++degree[ch.b];
+  }
+  graph::node_id hub = 0;
+  for (graph::node_id u = 1; u < n; ++u)
+    if (degree[u] > degree[hub]) hub = u;
+  double l_min = popts.player_params.front().l;
+  double l_max = l_min;
+  for (const core::cost_params& cp : popts.player_params) {
+    l_min = std::min(l_min, cp.l);
+    l_max = std::max(l_max, cp.l);
+  }
+
+  result_row row;
+  row.set("outcome", std::string(outcome_name(res.base.outcome)))
+      .set("rounds", static_cast<long long>(res.base.rounds))
+      .set("moves", static_cast<long long>(res.base.moves.size()))
+      .set("proposals", static_cast<long long>(res.base.proposals))
+      .set("evaluations", static_cast<long long>(res.base.evaluations))
+      .set("channels_start", static_cast<long long>(start.edge_count() / 2))
+      .set("channels_final",
+           static_cast<long long>(final_graph.edge_count() / 2))
+      .set("final_shape", topology::classify_topology(final_graph))
+      .set("max_degree",
+           static_cast<long long>(max_channel_degree(final_graph)))
+      .set("welfare", welfare)
+      .set("hub", static_cast<long long>(hub))
+      .set("hub_degree", static_cast<long long>(degree[hub]))
+      .set("hub_l", popts.player_params[hub].l)
+      .set("l_min", l_min)
+      .set("l_max", l_max);
+  return {row};
+}
+
+// --- arena/churn: joins, leaves and the deposit-conservation ledger -------
+
+/// One undirected cycle of the channel graph (nodes in order, closed by a
+/// channel last -> first), or empty when `g` is a forest. BFS spanning
+/// forest + first non-tree edge, joined at the LCA — deterministic in
+/// adjacency order.
+std::vector<graph::node_id> find_channel_cycle(const graph::digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<graph::node_id> parent(n, graph::invalid_node);
+  std::vector<std::int64_t> depth(n, -1);
+  for (graph::node_id root = 0; root < n; ++root) {
+    if (depth[root] >= 0) continue;
+    depth[root] = 0;
+    std::vector<graph::node_id> frontier{root};
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const graph::node_id u = frontier[head];
+      graph::node_id other = graph::invalid_node;
+      g.for_each_out(u, [&](graph::edge_id, const graph::edge& e) {
+        if (depth[e.dst] < 0) {
+          depth[e.dst] = depth[u] + 1;
+          parent[e.dst] = u;
+          frontier.push_back(e.dst);
+        } else if (e.dst != parent[u] && parent[e.dst] != u &&
+                   other == graph::invalid_node) {
+          other = e.dst;  // non-tree edge: u and e.dst close a cycle
+        }
+      });
+      if (other == graph::invalid_node) continue;
+      std::vector<graph::node_id> up{u};
+      std::vector<graph::node_id> down{other};
+      graph::node_id a = u;
+      graph::node_id b = other;
+      while (depth[a] > depth[b]) up.push_back(a = parent[a]);
+      while (depth[b] > depth[a]) down.push_back(b = parent[b]);
+      while (a != b) {
+        up.push_back(a = parent[a]);
+        down.push_back(b = parent[b]);
+      }
+      // up runs u..lca, down runs other..lca: emit u..lca then back down.
+      std::vector<graph::node_id> cycle(up);
+      for (auto it = down.rbegin() + 1; it != down.rend(); ++it)
+        cycle.push_back(*it);
+      return cycle;
+    }
+  }
+  return {};
+}
+
+std::vector<result_row> run_arena_churn(const scenario_context& ctx) {
+  const std::string topo_name = ctx.get_string("topology", "ws");
+  const auto n = static_cast<std::size_t>(ctx.get_int("n", 24));
+  const topology::game_params p = game_params_from(ctx);
+
+  arena::population_options popts;
+  popts.base = arena_options_from(
+      ctx, static_cast<long long>(arena::default_exact_threshold));
+  popts.track_ledger = true;
+  popts.deposit_per_side = ctx.get_double("deposit", 4.0);
+
+  const std::string churn = ctx.get_string("churn", "mixed");
+  std::size_t initial = n;
+  if (churn == "mixed") {
+    initial = static_cast<std::size_t>(
+        ctx.get_int("initial", static_cast<long long>(2 * n / 3)));
+    popts.initial_players = initial;
+    // Events land in the first half of the round budget so the population
+    // has the second half to settle (convergence requires the schedule to
+    // be drained).
+    popts.churn = arena::make_churn_schedule(
+        n, initial, static_cast<std::size_t>(ctx.get_int("joins", 6)),
+        static_cast<std::size_t>(ctx.get_int("leaves", 6)),
+        std::max<std::size_t>(2, popts.base.max_rounds / 2),
+        ctx.seed() ^ 0xb5470917c2a7f64dULL);
+  } else if (churn != "none") {
+    throw precondition_error("unknown churn '" + churn +
+                             "' (expected none|mixed)");
+  }
+
+  // The start topology spans the initial players; spare slots (who join
+  // mid-run) begin isolated.
+  rng gen = ctx.make_rng();
+  const graph::digraph seed_topo = make_topology(topo_name, initial, gen);
+  graph::digraph start(n);
+  for (const topology::channel_pair& ch : topology::channel_pairs(seed_topo))
+    start.add_bidirectional(ch.a, ch.b);
+
+  const arena::population_result res = arena::run_population(start, p, popts);
+  const graph::digraph& final_graph = res.base.state.graph();
+  long long active_final = static_cast<long long>(n);
+  if (!res.active.empty()) {
+    active_final = std::count(res.active.begin(), res.active.end(), char(1));
+  }
+
+  // Post-run rebalancing contrast on the terminal topology: deplete each
+  // channel's lower-id side deterministically (a direct single-hop payment
+  // of 60% of its deposit), then run one watermark sweep. fee_aware = 1
+  // makes every odd-id player non-cooperative: its rebalances pay
+  // `fee_rate` per interior hop and are skipped when uneconomical. The
+  // arena run above never reads `fee_aware`, so the axis is seed-neutral.
+  const bool fee_aware = ctx.get_int("fee_aware", 0) != 0;
+  pcn::network net = arena::to_network(final_graph, popts.deposit_per_side);
+  // Deterministic depletion with a guaranteed repair path: drain one
+  // actual cycle of the terminal graph in a consistent orientation
+  // (single-hop payments between consecutive cycle nodes). The reverse
+  // orientation is then over-funded, so circular rebalancing has a
+  // feasible cycle by construction. A forest terminal graph (possible
+  // after heavy churn) deplets nothing — rebalancing is structurally
+  // impossible there and the columns honestly read zero.
+  const std::vector<graph::node_id> cycle = find_channel_cycle(final_graph);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    (void)net.execute_payment(cycle[i], cycle[(i + 1) % cycle.size()],
+                              0.725 * popts.deposit_per_side);
+  }
+  std::vector<sim::rebalancing_policy> policies(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    // Repair cycles may run most of the way around a ring-like topology.
+    policies[u].max_cycle_len = n;
+    if (fee_aware) {
+      policies[u].fee_aware = true;
+      policies[u].fee_rate = ctx.get_double("fee_rate", 0.02);
+      policies[u].max_fee_fraction = ctx.get_double("max_fee_fraction", 0.5);
+    }
+  }
+  const sim::rebalancing_sweep_stats reb = sim::rebalancing_sweep(net, policies);
+
+  result_row row;
+  row.set("outcome", std::string(outcome_name(res.base.outcome)))
+      .set("rounds", static_cast<long long>(res.base.rounds))
+      .set("moves", static_cast<long long>(res.base.moves.size()))
+      .set("joins", static_cast<long long>(res.joins))
+      .set("leaves", static_cast<long long>(res.leaves))
+      .set("active_final", active_final)
+      .set("channels_final",
+           static_cast<long long>(final_graph.edge_count() / 2))
+      .set("final_shape", topology::classify_topology(final_graph))
+      .set("deposited", res.ledger.deposited)
+      .set("refunded", res.ledger.refunded)
+      .set("open_value", res.ledger.open_value)
+      .set("conservation_gap", res.ledger.conservation_gap())
+      .set("channels_opened", static_cast<long long>(res.ledger.channels_opened))
+      .set("channels_closed", static_cast<long long>(res.ledger.channels_closed))
+      .set("reb_triggered", static_cast<long long>(reb.triggered))
+      .set("reb_succeeded", static_cast<long long>(reb.succeeded))
+      .set("reb_volume", reb.volume)
+      .set("reb_fees_paid", reb.fees_paid);
+  return {row};
+}
+
 // --- scale/sampled_betweenness: Brandes–Pich error at 10^4 nodes ----------
 
 std::vector<result_row> run_sampled_betweenness(const scenario_context& ctx) {
@@ -1274,6 +1504,44 @@ std::size_t register_builtin_scenarios() {
            {"nodes", "outcome", "rounds", "moves", "evaluations",
             "evals_per_player", "channels_start", "channels_final",
             "final_shape", "max_degree", "welfare"}});
+    r.add({"arena/heterogeneous",
+           "per-player (a,b,l) from point/lognormal specs; who hubs?",
+           // n = 40 keeps the default catalog fast; the n >= 120 coverage
+           // lives in tests/arena_population_test.cpp and bench_arena.
+           {{"topology", strings({"ws"})},
+            {"n", ints({40})},
+            {"dist", strings({"point", "lognormal"})},
+            {"pivots", ints({16})},
+            {"candidate_k", ints({3})},
+            {"candidate_random", ints({0})},
+            {"max_channels", ints({3})},
+            {"mode", strings({"full", "incremental"})}},
+           run_arena_heterogeneous,
+           "1",
+           {"outcome", "rounds", "moves", "proposals", "evaluations",
+            "channels_start", "channels_final", "final_shape", "max_degree",
+            "welfare", "hub", "hub_degree", "hub_l", "l_min", "l_max"},
+           // The point-mass spec consumes no draws and replays the
+           // homogeneous run, so the dist axis must share seeds ("mode" is
+           // always seed-neutral, grid.cpp).
+           {"dist"}});
+    r.add({"arena/churn",
+           "joins/leaves with deposit-conservation ledger + rebalance mix",
+           {{"topology", strings({"ws"})},
+            {"n", ints({24})},
+            {"churn", strings({"none", "mixed"})},
+            {"fee_aware", ints({0, 1})},
+            {"mode", strings({"full", "incremental"})}},
+           run_arena_churn,
+           "1",
+           {"outcome", "rounds", "moves", "joins", "leaves", "active_final",
+            "channels_final", "final_shape", "deposited", "refunded",
+            "open_value", "conservation_gap", "channels_opened",
+            "channels_closed", "reb_triggered", "reb_succeeded", "reb_volume",
+            "reb_fees_paid"},
+           // churn=none must replay the static run on the same stream and
+           // fee_aware only affects post-run analysis.
+           {"churn", "fee_aware"}});
     r.add({"traffic/baseline",
            "discrete-event HTLC traffic: retries x gossip staleness",
            {{"retry", strings({"none", "exclude", "backoff"})},

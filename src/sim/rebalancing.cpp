@@ -24,7 +24,9 @@ double edge_slack(const pcn::network& net, graph::edge_id e,
 rebalance_result rebalance_channel(pcn::network& net, pcn::channel_id id,
                                    graph::node_id beneficiary, double amount,
                                    std::size_t max_cycle_len,
-                                   double donor_floor) {
+                                   double donor_floor, double fee_rate,
+                                   double max_fee_fraction) {
+  LCG_EXPECTS(fee_rate >= 0.0 && max_fee_fraction >= 0.0);
   rebalance_result result;
   if (amount <= 0.0) return result;
   const pcn::channel& ch = net.channel_at(id);
@@ -93,20 +95,41 @@ rebalance_result rebalance_channel(pcn::network& net, pcn::channel_id id,
   std::reverse(route.begin(), route.end());
   route.push_back(return_edge);
 
+  // Fee-aware (non-cooperative) mode: every interior node of the cycle
+  // charges fee_rate * executable; the beneficiary only proceeds when the
+  // total stays economical relative to the liquidity it gains.
+  const dist::linear_fee fee(0.0, fee_rate);
+  const dist::fee_function* hop_fee = nullptr;
+  if (fee_rate > 0.0) {
+    const double fee_total =
+        fee_rate * executable * static_cast<double>(route.size() - 1);
+    if (fee_total > max_fee_fraction * executable) return result;
+    hop_fee = &fee;
+  }
+
   const pcn::payment_result payment =
-      net.execute_route(beneficiary, route, executable);
+      net.execute_route(beneficiary, route, executable, hop_fee);
   if (!payment.ok()) return result;  // raced capacity change; untouched
   result.success = true;
   result.amount = executable;
   result.cycle_length = route.size();
+  result.fee_paid = payment.total_fee;
   return result;
 }
 
-rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
-                                          const rebalancing_policy& policy) {
+namespace {
+
+void validate_policy(const rebalancing_policy& policy) {
   LCG_EXPECTS(policy.low_watermark >= 0.0 &&
               policy.low_watermark <= policy.target);
   LCG_EXPECTS(policy.target <= 1.0);
+  LCG_EXPECTS(policy.fee_rate >= 0.0 && policy.max_fee_fraction >= 0.0);
+}
+
+/// Shared sweep core; `policy_of(v)` is node v's policy.
+template <typename PolicyOf>
+rebalancing_sweep_stats sweep_impl(pcn::network& net,
+                                   const PolicyOf& policy_of) {
   rebalancing_sweep_stats stats;
   // Channel set snapshot: rebalancing shifts balances but never opens or
   // closes channels, so iterating by id is stable.
@@ -119,20 +142,42 @@ rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
     const double capacity = ch.total_capacity();
     if (capacity <= 0.0) continue;
     for (const graph::node_id side : {ch.party_a, ch.party_b}) {
+      const rebalancing_policy& policy = policy_of(side);
       const double balance = net.balance_of(id, side);
       if (balance >= policy.low_watermark * capacity) continue;
       ++stats.triggered;
       const double want = policy.target * capacity - balance;
       const rebalance_result r = rebalance_channel(
           net, id, side, want, policy.max_cycle_len,
-          policy.donor_aware ? policy.low_watermark : -1.0);
+          policy.donor_aware ? policy.low_watermark : -1.0,
+          policy.fee_aware ? policy.fee_rate : 0.0, policy.max_fee_fraction);
       if (r.success) {
         ++stats.succeeded;
         stats.volume += r.amount;
+        stats.fees_paid += r.fee_paid;
       }
     }
   }
   return stats;
+}
+
+}  // namespace
+
+rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
+                                          const rebalancing_policy& policy) {
+  validate_policy(policy);
+  return sweep_impl(net, [&](graph::node_id) -> const rebalancing_policy& {
+    return policy;
+  });
+}
+
+rebalancing_sweep_stats rebalancing_sweep(
+    pcn::network& net, const std::vector<rebalancing_policy>& policies) {
+  LCG_EXPECTS(policies.size() == net.node_count());
+  for (const rebalancing_policy& policy : policies) validate_policy(policy);
+  return sweep_impl(net, [&](graph::node_id v) -> const rebalancing_policy& {
+    return policies[v];
+  });
 }
 
 }  // namespace lcg::sim

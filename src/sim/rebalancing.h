@@ -10,7 +10,14 @@
 // This module finds such cycles (shortest feasible loop avoiding the
 // depleted channel, closed by its (v, u) edge) and applies them, plus a
 // watermark policy the simulator can run periodically. Rebalancing is
-// modelled as fee-free, per the cooperative setting of [30].
+// modelled as fee-free by default, per the cooperative setting of [30]; the
+// fee-aware variant (`rebalancing_policy::fee_aware`) drops cooperation:
+// every interior node of the cycle charges the proportional routing fee
+// `fee_rate * amount`, and the depleted node only executes the cycle when
+// the total fee stays within `max_fee_fraction` of the liquidity shifted.
+// Policies are per-player in the population engine — a heterogeneous
+// network mixes cooperative and fee-aware rebalancers (the per-node sweep
+// overload).
 //
 // Paper-notation map:
 //   * A channel's two balances are the per-end coins of Section II-A
@@ -46,6 +53,7 @@ struct rebalance_result {
   bool success = false;
   double amount = 0.0;        // liquidity actually shifted
   std::size_t cycle_length = 0;  // hops in the circular route (incl. return)
+  double fee_paid = 0.0;      // routing fees paid to the cycle's interior
 };
 
 /// Shifts `amount` of `beneficiary`'s liquidity into channel `id` (must be
@@ -65,9 +73,15 @@ struct rebalance_result {
 /// sweeps that merely relocate depletion: without the floor, a successful
 /// rebalance drags its donor channels below their own watermark and
 /// triggers the inverse rebalance later in the sweep.
+/// `fee_rate` (>= 0) is the proportional routing fee every interior node of
+/// the cycle charges the beneficiary (0 = the cooperative fee-free setting;
+/// bitwise-identical to the historical behaviour). When charging, the cycle
+/// only executes if total fees <= `max_fee_fraction * amount-shifted` —
+/// otherwise the rebalance is rejected as uneconomical (network untouched).
 [[nodiscard]] rebalance_result rebalance_channel(
     pcn::network& net, pcn::channel_id id, graph::node_id beneficiary,
-    double amount, std::size_t max_cycle_len = 8, double donor_floor = -1.0);
+    double amount, std::size_t max_cycle_len = 8, double donor_floor = -1.0,
+    double fee_rate = 0.0, double max_fee_fraction = 1.0);
 
 struct rebalancing_policy {
   double low_watermark = 0.25;  ///< trigger when side < low * capacity
@@ -77,18 +91,32 @@ struct rebalancing_policy {
   /// `low_watermark` fraction, and `want` is clamped to the donatable
   /// slack (see rebalance_channel's donor_floor).
   bool donor_aware = false;
+  /// Non-cooperative mode: interior nodes charge `fee_rate * amount` each
+  /// and the rebalance is skipped when the total fee exceeds
+  /// `max_fee_fraction` of the liquidity shifted.
+  bool fee_aware = false;
+  double fee_rate = 0.0;
+  double max_fee_fraction = 1.0;
 };
 
 struct rebalancing_sweep_stats {
   std::uint64_t triggered = 0;   // depleted channel sides found
   std::uint64_t succeeded = 0;   // cycles executed
   double volume = 0.0;           // total liquidity shifted
+  double fees_paid = 0.0;        // routing fees paid by beneficiaries
 };
 
 /// One policy sweep over all open channels: every side below the watermark
 /// attempts a rebalance up to the target fraction.
 rebalancing_sweep_stats rebalancing_sweep(pcn::network& net,
                                           const rebalancing_policy& policy);
+
+/// Heterogeneous sweep: `policies[v]` is node v's own policy (size must
+/// equal the network's node count). Each depleted channel SIDE rebalances
+/// under its own node's policy, so cooperative and fee-aware players
+/// coexist in one network.
+rebalancing_sweep_stats rebalancing_sweep(
+    pcn::network& net, const std::vector<rebalancing_policy>& policies);
 
 }  // namespace lcg::sim
 

@@ -1,0 +1,404 @@
+// The population engine (arena/population.h): the ISSUE 9 test wall.
+//
+//   * Degenerate equivalence — point-mass per-player params + an empty
+//     churn schedule replay the static arena move for move: at n <= 6
+//     against the brute oracle (itself pinned to the certified
+//     topo/best_response dynamics) and at n = 120 across both provider
+//     modes.
+//   * Conservation — deposits == refunds + open value + in-flight locks,
+//     EXACTLY, across 50+ random join/leave schedules.
+//   * Teardown edge cases — a leaver with in-flight HTLCs, the last
+//     channel-holder leaving, and a join re-using a freed node id.
+//   * make_churn_schedule — sorted, feasible, freed-ids-first, and fully
+//     determined by its arguments.
+
+#include "arena/population.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arena/engine.h"
+#include "dist/param_sampler.h"
+#include "pcn/network.h"
+#include "runner/fixtures.h"
+#include "topology/dynamics.h"
+#include "topology/game.h"
+#include "util/rng.h"
+
+namespace lcg::arena {
+namespace {
+
+topology::game_params params_with_l(double l) {
+  topology::game_params p;
+  p.l = l;
+  return p;
+}
+
+graph::digraph start_graph(const std::string& name, std::size_t n,
+                           std::uint64_t seed = 7) {
+  rng gen(seed);
+  return runner::make_topology(name, n, gen);
+}
+
+/// Point masses at the homogeneous (a, b, l): dist/param_sampler's
+/// degenerate configuration, drawn through the same draw_population entry
+/// point the scenarios use (point specs consume no draws).
+std::vector<core::cost_params> point_population(const topology::game_params& p,
+                                                std::size_t n) {
+  dist::cost_param_specs specs;
+  specs.a = {dist::param_dist::point, p.a, 0.0};
+  specs.b = {dist::param_dist::point, p.b, 0.0};
+  specs.l = {dist::param_dist::point, p.l, 0.0};
+  rng stream(123);
+  return dist::draw_population(specs, n, stream);
+}
+
+void expect_identical_runs(const arena_result& got, const arena_result& want) {
+  EXPECT_EQ(got.outcome, want.outcome);
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.proposals, want.proposals);
+  EXPECT_EQ(got.evaluations, want.evaluations);
+  EXPECT_EQ(got.total_gain, want.total_gain);  // same doubles, same order
+  ASSERT_EQ(got.moves.size(), want.moves.size());
+  for (std::size_t i = 0; i < got.moves.size(); ++i) {
+    EXPECT_EQ(got.moves[i].round, want.moves[i].round);
+    EXPECT_EQ(got.moves[i].dev.deviator, want.moves[i].dev.deviator);
+    EXPECT_EQ(got.moves[i].dev.removed_peers, want.moves[i].dev.removed_peers);
+    EXPECT_EQ(got.moves[i].dev.added_peers, want.moves[i].dev.added_peers);
+    EXPECT_EQ(got.moves[i].dev.gain(), want.moves[i].dev.gain());
+  }
+  EXPECT_EQ(topology::topology_fingerprint(got.state.graph()),
+            topology::topology_fingerprint(want.state.graph()));
+}
+
+// --- degenerate equivalence ----------------------------------------------
+
+TEST(PopulationDegenerate, PointMassReplaysBruteArenaAndCertifiedDynamics) {
+  // A population run whose per-player vector is all point masses and whose
+  // churn schedule is empty must execute the static arena's instruction
+  // sequence exactly — which under the brute oracle is the certified
+  // topology::best_response_dynamics. Three topologies, both l regimes.
+  for (const char* topo : {"path", "cycle", "er"}) {
+    for (const double l : {0.3, 1.5}) {
+      SCOPED_TRACE(std::string(topo) + " l=" + std::to_string(l));
+      const graph::digraph start = start_graph(topo, 6);
+      const topology::game_params p = params_with_l(l);
+
+      arena_options options;
+      options.oracle = oracle_kind::brute;
+      options.max_rounds = 16;
+      const arena_result plain = run_arena(start, p, options);
+
+      population_options popts;
+      popts.base = options;
+      popts.player_params = point_population(p, 6);
+      const population_result pop = run_population(start, p, popts);
+
+      expect_identical_runs(pop.base, plain);
+      // A static run reports no population axes at all.
+      EXPECT_EQ(pop.joins, 0u);
+      EXPECT_EQ(pop.leaves, 0u);
+      EXPECT_TRUE(pop.active.empty());
+      EXPECT_EQ(pop.ledger.deposited, 0.0);
+
+      topology::dynamics_options dyn_options;
+      dyn_options.max_rounds = 16;
+      const topology::dynamics_result certified =
+          topology::best_response_dynamics(start, p, dyn_options);
+      EXPECT_EQ(pop.base.outcome, certified.outcome);
+      ASSERT_EQ(pop.base.moves.size(), certified.applied.size());
+      for (std::size_t i = 0; i < pop.base.moves.size(); ++i) {
+        EXPECT_EQ(pop.base.moves[i].dev.deviator,
+                  certified.applied[i].deviator);
+        EXPECT_EQ(pop.base.moves[i].dev.added_peers,
+                  certified.applied[i].added_peers);
+        EXPECT_EQ(pop.base.moves[i].dev.removed_peers,
+                  certified.applied[i].removed_peers);
+      }
+      EXPECT_EQ(topology::topology_fingerprint(pop.base.state.graph()),
+                topology::topology_fingerprint(certified.final_graph));
+    }
+  }
+}
+
+TEST(PopulationDegenerate, PointMassReplaysArenaAtScaleAcrossProviderModes) {
+  // n = 120 with the restricted greedy oracle over the sampled provider:
+  // the per-player evaluation path (provider.a_of/b_of/l_of reading a
+  // non-empty vector of identical triples) must stay byte-identical to the
+  // homogeneous arena, in BOTH provider modes, and the two modes must
+  // agree with each other.
+  const std::size_t n = 120;
+  const graph::digraph start = start_graph("ws", n);
+  const topology::game_params p = params_with_l(1.5);
+
+  arena_options options;
+  options.oracle = oracle_kind::greedy;
+  options.oracle_opts.candidate_k = 3;
+  options.oracle_opts.candidate_random = 0;
+  options.oracle_opts.max_channels = 3;
+  options.provider.exact_threshold = 0;  // always the sampled backend
+  options.provider.pivots = 16;
+  options.provider.seed = 77;
+  options.seed = 4242;
+
+  std::vector<std::uint64_t> fingerprints;
+  for (const provider_mode mode :
+       {provider_mode::full, provider_mode::incremental}) {
+    SCOPED_TRACE(provider_mode_name(mode));
+    arena_options mode_options = options;
+    mode_options.provider.mode = mode;
+    const arena_result plain = run_arena(start, p, mode_options);
+    EXPECT_EQ(plain.outcome, topology::dynamics_outcome::converged);
+    EXPECT_GT(plain.moves.size(), 0u);
+
+    population_options popts;
+    popts.base = mode_options;
+    popts.player_params = point_population(p, n);
+    const population_result pop = run_population(start, p, popts);
+    expect_identical_runs(pop.base, plain);
+    fingerprints.push_back(
+        topology::topology_fingerprint(pop.base.state.graph()));
+  }
+  ASSERT_EQ(fingerprints.size(), 2u);
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);  // full == incremental
+}
+
+TEST(PopulationDegenerate, DefaultOptionsAreRunArenaBitwise) {
+  // population_options{} adds nothing: run_arena is documented as a thin
+  // wrapper, and the two entry points must agree without any per-player
+  // vector at all.
+  const graph::digraph start = start_graph("path", 16);
+  const topology::game_params p = params_with_l(1.5);
+  arena_options options;
+  options.oracle = oracle_kind::greedy;
+  options.seed = 9;
+  population_options popts;
+  popts.base = options;
+  expect_identical_runs(run_population(start, p, popts).base,
+                        run_arena(start, p, options));
+}
+
+// --- make_churn_schedule --------------------------------------------------
+
+TEST(ChurnSchedule, IsSortedFeasibleDeterministicAndReusesFreedIds) {
+  const std::size_t n = 12, initial = 8, joins = 4, leaves = 4, rounds = 10;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const churn_schedule sched =
+        make_churn_schedule(n, initial, joins, leaves, rounds, seed);
+    const churn_schedule again =
+        make_churn_schedule(n, initial, joins, leaves, rounds, seed);
+    ASSERT_EQ(sched.events.size(), again.events.size());
+    for (std::size_t i = 0; i < sched.events.size(); ++i) {
+      EXPECT_EQ(sched.events[i].round, again.events[i].round);
+      EXPECT_EQ(sched.events[i].join, again.events[i].join);
+      EXPECT_EQ(sched.events[i].player, again.events[i].player);
+    }
+    EXPECT_LE(sched.events.size(), joins + leaves);
+
+    // Replay the schedule against the same active-set semantics the engine
+    // uses: every event must be valid at its turn, rounds sorted and in
+    // [1, rounds - 1], joins drawing the LOWEST freed id before any spare.
+    std::vector<char> active(n, 0);
+    for (std::size_t u = 0; u < initial; ++u) active[u] = 1;
+    std::size_t active_count = initial;
+    std::vector<graph::node_id> freed;
+    std::size_t previous_round = 0;
+    for (const churn_event& ev : sched.events) {
+      EXPECT_GE(ev.round, std::max<std::size_t>(previous_round, 1));
+      EXPECT_LE(ev.round, rounds - 1);
+      previous_round = ev.round;
+      ASSERT_LT(ev.player, n);
+      if (ev.join) {
+        EXPECT_FALSE(active[ev.player]);
+        if (!freed.empty()) {
+          EXPECT_EQ(ev.player, *std::min_element(freed.begin(), freed.end()));
+          freed.erase(std::find(freed.begin(), freed.end(), ev.player));
+        } else {
+          EXPECT_GE(ev.player, initial);  // a fresh spare slot
+        }
+        active[ev.player] = 1;
+        ++active_count;
+      } else {
+        EXPECT_TRUE(active[ev.player]);
+        EXPECT_GT(active_count, 2u);  // never drops the population below 2
+        active[ev.player] = 0;
+        --active_count;
+        freed.push_back(ev.player);
+      }
+    }
+  }
+}
+
+// --- conservation across random churn ------------------------------------
+
+/// A `topo` over the initial players embedded into an n-slot digraph:
+/// spare slots (who join mid-run) start isolated, exactly the arena/churn
+/// scenario's start construction.
+graph::digraph embedded_start(const std::string& topo, std::size_t n,
+                              std::size_t initial, std::uint64_t seed) {
+  rng gen(seed);
+  const graph::digraph seed_topo = runner::make_topology(topo, initial, gen);
+  graph::digraph start(n);
+  for (const topology::channel_pair& ch : topology::channel_pairs(seed_topo))
+    start.add_bidirectional(ch.a, ch.b);
+  return start;
+}
+
+TEST(PopulationChurn, ConservationIsExactAcrossFiftyRandomSchedules) {
+  // The ISSUE's property test: for ANY schedule, deposits flow only into
+  // refunds and open channel value (the engine holds no HTLCs of its own,
+  // so locked stays 0), and the gap is EXACTLY zero — every term is a sum
+  // of the same doubles, no rounding escape hatch.
+  const std::size_t n = 12, initial = 8;
+  const topology::game_params p = params_with_l(1.5);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    population_options popts;
+    popts.base.oracle = oracle_kind::greedy;
+    popts.base.max_rounds = 16;
+    popts.base.seed = seed;
+    popts.initial_players = initial;
+    popts.churn = make_churn_schedule(n, initial, 3, 3, 8, seed);
+    popts.track_ledger = true;
+    popts.deposit_per_side = seed % 2 == 0 ? 4.0 : 0.25;
+
+    const graph::digraph start = embedded_start("ws", n, initial, seed + 1);
+    const population_result res = run_population(start, p, popts);
+
+    EXPECT_EQ(res.ledger.conservation_gap(), 0.0);
+    EXPECT_EQ(res.ledger.locked, 0.0);
+    EXPECT_GE(res.ledger.deposited,
+              res.ledger.refunded + 0.0);  // refunds never exceed deposits
+    // Open/close tallies reconcile with the terminal topology.
+    ASSERT_FALSE(res.active.empty());
+    EXPECT_EQ(res.ledger.channels_opened - res.ledger.channels_closed,
+              res.base.state.graph().edge_count() / 2);
+    // The final mask reconciles with the executed events.
+    const auto active_final = static_cast<std::size_t>(
+        std::count(res.active.begin(), res.active.end(), char(1)));
+    EXPECT_EQ(active_final, initial + res.joins - res.leaves);
+    EXPECT_LE(res.joins + res.leaves, popts.churn.events.size());
+    if (res.base.outcome == topology::dynamics_outcome::converged) {
+      // Convergence certifies the schedule was fully drained.
+      EXPECT_EQ(res.joins + res.leaves, popts.churn.events.size());
+    }
+  }
+}
+
+// --- teardown edge cases --------------------------------------------------
+
+TEST(PopulationChurn, LeaverStaysIsolatedAndRefundsItsChannels) {
+  // One scripted leave: the departed player's channels close (deposits
+  // refunded through the mirror), nobody reconnects to the masked-out
+  // node, and conservation still holds.
+  const std::size_t n = 6;
+  const topology::game_params p = params_with_l(1.5);
+  population_options popts;
+  popts.base.oracle = oracle_kind::greedy;
+  popts.base.max_rounds = 12;
+  popts.churn.events = {{1, false, 2}};
+  popts.track_ledger = true;
+
+  const graph::digraph start = start_graph("cycle", n);
+  const population_result res = run_population(start, p, popts);
+  EXPECT_EQ(res.leaves, 1u);
+  EXPECT_EQ(res.joins, 0u);
+  ASSERT_FALSE(res.active.empty());
+  EXPECT_EQ(res.active[2], 0);
+  EXPECT_EQ(res.base.state.graph().out_degree(2), 0u);
+  EXPECT_GE(res.ledger.channels_closed, 2u);  // the cycle's two channels
+  EXPECT_EQ(res.ledger.conservation_gap(), 0.0);
+}
+
+TEST(PopulationChurn, FreedIdRejoinsThroughTheEntryOracle) {
+  // leave player 2 in round 1, re-join the SAME slot in round 3: the freed
+  // id is a first-class player again (the entry proposal runs through the
+  // round's oracle) and the final mask is all-active.
+  const std::size_t n = 6;
+  const topology::game_params p = params_with_l(1.5);
+  population_options popts;
+  popts.base.oracle = oracle_kind::greedy;
+  popts.base.max_rounds = 16;
+  popts.churn.events = {{1, false, 2}, {3, true, 2}};
+  popts.track_ledger = true;
+
+  const graph::digraph start = start_graph("cycle", n);
+  const population_result res = run_population(start, p, popts);
+  EXPECT_EQ(res.leaves, 1u);
+  EXPECT_EQ(res.joins, 1u);
+  ASSERT_EQ(res.active.size(), n);
+  for (const char a : res.active) EXPECT_EQ(a, 1);
+  EXPECT_EQ(res.ledger.conservation_gap(), 0.0);
+  // l = 1.5 makes fresh channels strictly profitable, so the rejoiner
+  // actually re-entered the game rather than idling in isolation.
+  EXPECT_GT(res.base.state.graph().out_degree(2), 0u);
+}
+
+TEST(PcnTeardown, LeaverWithInFlightHtlcsReturnsLockedCoinsThenRefunds) {
+  // A departing node with an in-flight HTLC through one of its channels:
+  // teardown fails the lock (coins return to the source side) BEFORE
+  // closing, so the settled ledger receives every deposited coin.
+  pcn::network net(3);
+  const pcn::channel_id c01 = net.open_channel(0, 1, 4.0, 4.0);
+  net.open_channel(1, 2, 4.0, 4.0);
+  ASSERT_TRUE(net.try_lock_htlc(net.channel_at(c01).edge_ab, 1.5));
+  EXPECT_EQ(net.total_locked(), 1.5);
+  EXPECT_EQ(net.balance_of(c01, 0), 2.5);
+
+  EXPECT_EQ(net.teardown_node(1), 2u);
+  EXPECT_EQ(net.total_locked(), 0.0);
+  EXPECT_EQ(net.channel_count(), 0u);
+  // Refunds: the locked 1.5 came back to node 0's side before the close.
+  EXPECT_EQ(net.settled(0), 4.0);
+  EXPECT_EQ(net.settled(1), 8.0);
+  EXPECT_EQ(net.settled(2), 4.0);
+  EXPECT_EQ(net.settled(0) + net.settled(1) + net.settled(2), 16.0);
+}
+
+TEST(PcnTeardown, LastHolderTeardownClosesEverythingThenIsANoOp) {
+  pcn::network net(2);
+  net.open_channel(0, 1, 3.0, 5.0);
+  EXPECT_EQ(net.teardown_node(0), 1u);
+  EXPECT_EQ(net.channel_count(), 0u);
+  EXPECT_EQ(net.settled(0), 3.0);
+  EXPECT_EQ(net.settled(1), 5.0);
+  // The last player "leaving" an already-empty network closes nothing.
+  EXPECT_EQ(net.teardown_node(1), 0u);
+  EXPECT_EQ(net.settled(1), 5.0);
+}
+
+// --- engine guard rails ---------------------------------------------------
+
+TEST(PopulationGuards, BruteOracleRejectsChurnAndSparesMustBeIsolated) {
+  const graph::digraph start = start_graph("cycle", 6);
+  const topology::game_params p = params_with_l(1.5);
+  {
+    population_options popts;
+    popts.base.oracle = oracle_kind::brute;
+    popts.churn.events = {{1, false, 2}};
+    EXPECT_THROW((void)run_population(start, p, popts), precondition_error);
+  }
+  {
+    // initial_players = 4 declares nodes 4 and 5 spare, but the cycle
+    // start wires them up — the engine must refuse.
+    population_options popts;
+    popts.base.oracle = oracle_kind::greedy;
+    popts.initial_players = 4;
+    EXPECT_THROW((void)run_population(start, p, popts), precondition_error);
+  }
+  {
+    // A per-player vector of the wrong size never silently truncates.
+    population_options popts;
+    popts.base.oracle = oracle_kind::greedy;
+    popts.player_params = point_population(p, 5);
+    EXPECT_THROW((void)run_population(start, p, popts), precondition_error);
+  }
+}
+
+}  // namespace
+}  // namespace lcg::arena

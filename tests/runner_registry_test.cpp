@@ -162,6 +162,39 @@ TEST(Grid, ModeAxisIsSeedNeutral) {
   }
 }
 
+TEST(Grid, DeclaredSeedNeutralAxesShareSeedsLikeMode) {
+  // ISSUE 9 bugfix regression: a scenario may declare ADDITIONAL
+  // seed-neutral axes (churn, dist, fee_aware — knobs whose degenerate
+  // value replays the plain run). Points differing only in those axes
+  // must share a seed even when the axis has several values, and adding
+  // the axis must not move any other point's seed — exactly the "mode"
+  // contract, extended to declared axes and their combinations.
+  scenario sc = make_scenario("seeded");
+  sc.seed_neutral = {"churn", "fee_aware"};
+  param_grid plain;
+  plain.sweep("n", {value(1LL), value(2LL)});
+  param_grid with_axes = plain;
+  with_axes.sweep("churn", {value(std::string("none")),
+                            value(std::string("mixed"))});
+  with_axes.sweep("fee_aware", {value(0LL), value(1LL)});
+  with_axes.sweep("mode", {value(std::string("full")),
+                           value(std::string("incremental"))});
+
+  const std::vector<job> base = expand_jobs(sc, plain, 1, 42);
+  const std::vector<job> full = expand_jobs(sc, with_axes, 1, 42);
+  ASSERT_EQ(base.size(), 2u);
+  ASSERT_EQ(full.size(), 16u);  // n x churn x fee_aware x mode
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    // First axis (n) varies slowest: jobs [0, 8) are n=1, [8, 16) n=2.
+    EXPECT_EQ(full[i].seed, base[i / 8].seed) << i;
+  }
+
+  // An undeclared axis still perturbs seeds (the historical behaviour).
+  scenario undeclared = make_scenario("seeded");
+  const std::vector<job> moved = expand_jobs(undeclared, with_axes, 1, 42);
+  EXPECT_NE(moved[0].seed, moved[4].seed);  // differs only in churn
+}
+
 TEST(Context, TypedParameterAccess) {
   param_map params;
   params["n"] = value(5LL);

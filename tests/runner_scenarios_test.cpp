@@ -69,7 +69,8 @@ TEST(ScenarioCatalog, HasAtLeast20ScenariosIncludingTheTrafficFamilies) {
         "sim/estimation_downstream", "topo/best_response",
         "scale/sampled_betweenness", "scale/host_properties",
         "arena/best_response", "arena/oracle_duel", "arena/scale_profile",
-        "traffic/baseline", "traffic/arena_replay"}) {
+        "arena/heterogeneous", "arena/churn", "traffic/baseline",
+        "traffic/arena_replay"}) {
     const scenario* sc = registry::global().find(name);
     ASSERT_NE(sc, nullptr) << name;
     EXPECT_FALSE(sc->columns.empty()) << name;
@@ -383,6 +384,123 @@ TEST(ScenarioCatalog, ArenaOracleDuelKeepsBruteRowsAtSmallN) {
       run_jobs(one_job("arena/oracle_duel", {{"n", value(20LL)}}), {});
   ASSERT_TRUE(large.at(0).ok()) << large[0].error;
   EXPECT_EQ(large[0].rows.size(), 2u);  // brute is unaffordable
+}
+
+TEST(ScenarioCatalog, PopulationScenariosByteIdenticalAcrossJobCounts) {
+  // ISSUE 9: the heterogeneous and churn families render byte-identically
+  // with --jobs 1 and --jobs 8 (n pinned smaller than the default so the
+  // check stays quick while covering every axis combination).
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  for (const auto& [name, pins] :
+       std::vector<std::pair<std::string,
+                             std::vector<std::pair<std::string, value>>>>{
+           {"arena/heterogeneous", {{"n", value(24LL)}}},
+           {"arena/churn", {{"n", value(18LL)}}}}) {
+    const scenario& sc = find_or_die(name);
+    param_grid grid(sc.default_sweep);
+    for (const auto& [k, v] : pins) grid.set(k, v);
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 42);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+  ASSERT_GE(jobs.size(), 12u);
+
+  run_options serial;
+  serial.jobs = 1;
+  run_options wide;
+  wide.jobs = 8;
+  const std::vector<job_result> a = run_jobs(jobs, serial);
+  const std::vector<job_result> b = run_jobs(jobs, wide);
+
+  std::ostringstream csv_a, csv_b;
+  write_csv(csv_a, a);
+  write_csv(csv_b, b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  for (const job_result& r : a) EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST(ScenarioCatalog, PopulationCacheColdWarmRoundTrip) {
+  register_builtin_scenarios();
+  std::vector<job> jobs;
+  for (const char* name : {"arena/heterogeneous", "arena/churn"}) {
+    const scenario& sc = find_or_die(name);
+    param_grid grid(sc.default_sweep);
+    grid.set("n", value(16LL));
+    std::vector<job> expanded = expand_jobs(sc, grid, 1, 7);
+    jobs.insert(jobs.end(), expanded.begin(), expanded.end());
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("lcg_population_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  run_options opt;
+  opt.cache_dir = dir.string();
+
+  const std::vector<job_result> cold = run_jobs(jobs, opt);
+  const std::vector<job_result> warm = run_jobs(jobs, opt);
+  EXPECT_EQ(summarise(cold).cache_hits, 0u);
+  EXPECT_EQ(summarise(warm).cache_hits, jobs.size());
+
+  std::ostringstream cold_csv, warm_csv;
+  write_csv(cold_csv, cold);
+  write_csv(warm_csv, warm);
+  EXPECT_EQ(cold_csv.str(), warm_csv.str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioCatalog, HeterogeneousSeedNeutralDistAxisAndParamSpread) {
+  // The dist axis is declared seed-neutral, so the point and lognormal
+  // rows of one grid point share a seed; the point rows replay the
+  // homogeneous population (l_min == l_max) while the lognormal rows
+  // actually spread the parameters.
+  register_builtin_scenarios();
+  const scenario& sc = find_or_die("arena/heterogeneous");
+  param_grid grid(sc.default_sweep);
+  grid.set("n", value(24LL));
+  const std::vector<job> jobs = expand_jobs(sc, grid, 1, 42);
+  ASSERT_EQ(jobs.size(), 4u);  // dist x mode
+  for (const job& j : jobs) EXPECT_EQ(j.seed, jobs.front().seed);
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  for (const job_result& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    const result_row& row = r.rows.at(0);
+    const std::string dist = std::get<std::string>(r.params.at("dist"));
+    const double l_min = cell_double(row, "l_min");
+    const double l_max = cell_double(row, "l_max");
+    if (dist == "point") {
+      EXPECT_EQ(l_min, l_max);
+    } else {
+      EXPECT_LT(l_min, l_max);
+    }
+    EXPECT_GT(cell_double(row, "moves"), 0.0);
+  }
+}
+
+TEST(ScenarioCatalog, ChurnSweepConservesDepositsExactly) {
+  // Acceptance: every default-sweep churn row balances its ledger to a
+  // conservation gap of EXACTLY zero, and the mixed rows actually execute
+  // joins and leaves (the none rows stay a static population).
+  register_builtin_scenarios();
+  const scenario& sc = find_or_die("arena/churn");
+  param_grid grid(sc.default_sweep);
+  grid.set("n", value(18LL));
+  const std::vector<job> jobs = expand_jobs(sc, grid, 1, 42);
+  const std::vector<job_result> results = run_jobs(jobs, {});
+  for (const job_result& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    const result_row& row = r.rows.at(0);
+    EXPECT_EQ(cell_double(row, "conservation_gap"), 0.0);
+    EXPECT_GT(cell_double(row, "deposited"), 0.0);
+    const std::string churn = std::get<std::string>(r.params.at("churn"));
+    if (churn == "mixed") {
+      EXPECT_GT(cell_double(row, "joins") + cell_double(row, "leaves"), 0.0);
+      EXPECT_GT(cell_double(row, "channels_closed"), 0.0);
+    } else {
+      EXPECT_EQ(cell_double(row, "joins"), 0.0);
+      EXPECT_EQ(cell_double(row, "leaves"), 0.0);
+    }
+  }
 }
 
 TEST(ScenarioCatalog, TrafficScenariosByteIdenticalAcrossJobCounts) {

@@ -85,7 +85,8 @@ TEST(Rebalancing, SweepTargetsWatermark) {
 
 TEST(Rebalancing, SweepLeavesHealthyChannelsAlone) {
   pcn::network net = triangle(5.0, 5.0);
-  const rebalancing_sweep_stats stats = rebalancing_sweep(net, {});
+  const rebalancing_sweep_stats stats =
+      rebalancing_sweep(net, rebalancing_policy{});
   EXPECT_EQ(stats.triggered, 0u);
 }
 
@@ -191,6 +192,114 @@ TEST(Rebalancing, DonorAwareSweepDivergesUnderHeterogeneousDeposits) {
           << "channel " << id << " side " << side;
     }
   }
+}
+
+TEST(Rebalancing, FeeAwareChargesPerInteriorHopThroughTheFeeLedger) {
+  // Non-cooperative mode: every interior node of the cycle charges
+  // fee_rate * amount. On the triangle the cycle 0 -> 2 -> 1 -> 0 has two
+  // interior nodes, so the beneficiary pays 2 * rate * amount — through
+  // the fee ledger, not the channel balances (which must match the
+  // cooperative run exactly).
+  pcn::network coop = triangle(0.0, 8.0);
+  ASSERT_TRUE(rebalance_channel(coop, 0, 0, 4.0).success);
+
+  pcn::network paid = triangle(0.0, 8.0);
+  const rebalance_result r = rebalance_channel(
+      paid, 0, 0, 4.0, /*max_cycle_len=*/8, /*donor_floor=*/-1.0,
+      /*fee_rate=*/0.05, /*max_fee_fraction=*/0.5);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.fee_paid, 2 * 0.05 * 4.0);
+  EXPECT_DOUBLE_EQ(paid.fees_paid(0), r.fee_paid);
+  EXPECT_DOUBLE_EQ(paid.fees_earned(1) + paid.fees_earned(2), r.fee_paid);
+  for (pcn::channel_id id = 0; id < 3; ++id) {
+    const pcn::channel& ch = paid.channel_at(id);
+    EXPECT_EQ(paid.balance_of(id, ch.party_a), coop.balance_of(id, ch.party_a))
+        << id;
+    EXPECT_EQ(paid.balance_of(id, ch.party_b), coop.balance_of(id, ch.party_b))
+        << id;
+  }
+}
+
+TEST(Rebalancing, FeeAwareSkipsUneconomicalCyclesLeavingTheNetworkUntouched) {
+  // Two interior hops at 5% each = 10% of the shifted amount; a 5% fee
+  // budget makes the cycle uneconomical, so the fee-aware player refuses
+  // and the network keeps its exact pre-call state.
+  pcn::network net = triangle(0.0, 8.0);
+  const rebalance_result r = rebalance_channel(
+      net, 0, 0, 4.0, /*max_cycle_len=*/8, /*donor_floor=*/-1.0,
+      /*fee_rate=*/0.05, /*max_fee_fraction=*/0.05);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.fee_paid, 0.0);
+  EXPECT_EQ(net.balance_of(0, 0), 0.0);
+  EXPECT_EQ(net.balance_of(0, 1), 8.0);
+  EXPECT_EQ(net.fees_paid(0), 0.0);
+}
+
+TEST(Rebalancing, FeeAwareZeroRateIsBitwiseCooperative) {
+  // fee_aware with rate 0 routes through the null-fee path — the literal
+  // cooperative instruction sequence — so sweep stats and every balance
+  // must be EXACTLY equal, not just close.
+  rebalancing_policy coop;
+  coop.low_watermark = 0.25;
+  coop.target = 0.5;
+  rebalancing_policy aware = coop;
+  aware.fee_aware = true;
+  aware.fee_rate = 0.0;
+
+  pcn::network net_coop = triangle(0.5, 9.5);
+  const rebalancing_sweep_stats s_coop = rebalancing_sweep(net_coop, coop);
+  pcn::network net_aware = triangle(0.5, 9.5);
+  const rebalancing_sweep_stats s_aware = rebalancing_sweep(net_aware, aware);
+
+  EXPECT_EQ(s_coop.triggered, s_aware.triggered);
+  EXPECT_EQ(s_coop.succeeded, s_aware.succeeded);
+  EXPECT_EQ(s_coop.volume, s_aware.volume);
+  EXPECT_EQ(s_aware.fees_paid, 0.0);
+  for (pcn::channel_id id = 0; id < 3; ++id) {
+    const pcn::channel& ch = net_coop.channel_at(id);
+    EXPECT_EQ(net_coop.balance_of(id, ch.party_a),
+              net_aware.balance_of(id, ch.party_a));
+    EXPECT_EQ(net_coop.balance_of(id, ch.party_b),
+              net_aware.balance_of(id, ch.party_b));
+  }
+}
+
+TEST(Rebalancing, PerNodePolicySweepMixesCooperativeAndFeeAwarePlayers) {
+  // The population engine's per-player policy surface: identical networks
+  // and policy vectors except for ONE node's fee-awareness, and only that
+  // node's rebalance flips between skipped (prohibitive fee budget) and
+  // executed. The vector overload must dispatch each node's OWN policy —
+  // and reject a vector of the wrong length outright.
+  const auto sweep_with_node0 = [](bool fee_aware) {
+    pcn::network net = triangle(0.5, 9.5);  // node 0's side at 5%
+    std::vector<rebalancing_policy> policies(3);
+    for (rebalancing_policy& policy : policies) {
+      policy.low_watermark = 0.25;
+      policy.target = 0.5;
+    }
+    if (fee_aware) {
+      policies[0].fee_aware = true;
+      policies[0].fee_rate = 0.05;
+      policies[0].max_fee_fraction = 0.01;  // prohibitive: 2 hops cost 10%
+    }
+    const rebalancing_sweep_stats stats = rebalancing_sweep(net, policies);
+    return std::make_pair(stats, net.balance_of(0, 0));
+  };
+
+  const auto [skipped, balance_skipped] = sweep_with_node0(true);
+  EXPECT_EQ(skipped.triggered, 1u);
+  EXPECT_EQ(skipped.succeeded, 0u);  // node 0's own policy refuses
+  EXPECT_EQ(skipped.fees_paid, 0.0);
+  EXPECT_EQ(balance_skipped, 0.5);  // untouched
+
+  const auto [executed, balance_executed] = sweep_with_node0(false);
+  EXPECT_EQ(executed.triggered, 1u);
+  EXPECT_EQ(executed.succeeded, 1u);  // cooperative entry: same slot runs
+  EXPECT_NEAR(balance_executed, 5.0, 1e-9);  // at target
+
+  pcn::network net = triangle(0.5, 9.5);
+  std::vector<rebalancing_policy> wrong(2);
+  EXPECT_THROW((void)rebalancing_sweep(net, wrong), precondition_error);
 }
 
 TEST(Rebalancing, KeepsCircularTrafficOnDirectChannelsInTheEngine) {
