@@ -12,7 +12,12 @@
 //     "rounds":..., "moves":..., "evaluations":..., "effective_sweeps":...,
 //     "pruned_candidates":..., "sweep_reduction":..., "converged":1,
 //     "joins":0, "leaves":0, "conservation_gap":0,
-//     "final_shape":"other", "wall_ms":..., "evals_per_ms":...}, ...]
+//     "final_shape":"other", "obs":{"arena/sweep_full":..., ...},
+//     "wall_ms":..., "evals_per_ms":...}, ...]
+//
+// The "obs" object mirrors the run's sweep ledger under the runtime
+// metric names (src/obs/), so a trace snapshot and a committed bench
+// record are comparable key for key.
 //
 // Three families per population size (ISSUE 9): "static" (the homogeneous
 // fixed population, greedy AND local oracles), "hetero" (lognormal
@@ -45,13 +50,13 @@
 
 #include "arena/engine.h"
 #include "arena/population.h"
+#include "bench_timing.h"
 #include "dist/param_sampler.h"
 #include "runner/fixtures.h"
 #include "topology/dynamics.h"
 #include "topology/game.h"
 #include "util/rng.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -76,6 +81,10 @@ struct bench_record {
   std::uint64_t evaluations = 0;
   std::uint64_t effective_sweeps = 0;
   std::uint64_t pruned = 0;
+  /// The full per-run sweep ledger, mirrored into the record's "obs"
+  /// object under the runtime counter names (values from the
+  /// deterministic, equality-gated sweep_stats — never the live registry).
+  arena::sweep_stats sweeps;
   double sweep_reduction = 1.0;
   bool converged = false;
   std::string final_shape;
@@ -137,6 +146,13 @@ void write_json(const std::string& path,
        << ", \"conservation_gap\": " << r.conservation_gap
        << ", \"final_shape\": \"" << r.final_shape << "\""
        << ", \"host_hw_threads\": " << hardware
+       << ", \"obs\": {\"arena/sweep_full\": " << r.sweeps.full_sweeps
+       << ", \"arena/build_forest\": " << r.sweeps.forest
+       << ", \"arena/resweep_source\": " << r.sweeps.resweeps
+       << ", \"arena/accumulate_source\": " << r.sweeps.accumulations
+       << ", \"arena/run_support_bfs\": " << r.sweeps.support_bfs
+       << ", \"arena/prune_candidate\": " << r.sweeps.pruned
+       << ", \"arena/truncate_merge\": " << r.sweeps.truncated << "}"
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"evals_per_ms\": " << evals_per_ms << "}"
        << (i + 1 < records.size() ? "," : "") << "\n";
@@ -201,13 +217,10 @@ int run(const bench_config& config) {
          {arena::provider_mode::full, arena::provider_mode::incremental}) {
       popts.base.provider.mode = mode;
       arena::population_result result;
-      double best_ms = 0.0;
-      for (std::size_t r = 0; r < config.repeat; ++r) {
-        stopwatch sw;
-        result = arena::run_population(start, params, popts);
-        const double ms = sw.elapsed_ms();
-        if (r == 0 || ms < best_ms) best_ms = ms;
-      }
+      const double best_ms = bench::best_of_ms(
+          config.repeat,
+          [&] { return arena::run_population(start, params, popts); },
+          &result);
 
       bench_record rec;
       rec.family = family;
@@ -223,6 +236,7 @@ int run(const bench_config& config) {
       rec.evaluations = result.base.evaluations;
       rec.effective_sweeps = result.base.sweeps.effective_sweeps();
       rec.pruned = result.base.sweeps.pruned;
+      rec.sweeps = result.base.sweeps;
       rec.converged =
           result.base.outcome == topology::dynamics_outcome::converged;
       rec.joins = result.joins;
@@ -272,13 +286,10 @@ int run(const bench_config& config) {
            {arena::provider_mode::full, arena::provider_mode::incremental}) {
         options.provider.mode = mode;
         arena::arena_result result;
-        double best_ms = 0.0;
-        for (std::size_t r = 0; r < config.repeat; ++r) {
-          stopwatch sw;
-          result = arena::run_arena(start, params, options);
-          const double ms = sw.elapsed_ms();
-          if (r == 0 || ms < best_ms) best_ms = ms;
-        }
+        const double best_ms = bench::best_of_ms(
+            config.repeat,
+            [&] { return arena::run_arena(start, params, options); },
+            &result);
 
         bench_record rec;
         rec.n = n;
@@ -293,6 +304,7 @@ int run(const bench_config& config) {
         rec.evaluations = result.evaluations;
         rec.effective_sweeps = result.sweeps.effective_sweeps();
         rec.pruned = result.sweeps.pruned;
+        rec.sweeps = result.sweeps;
         rec.converged =
             result.outcome == topology::dynamics_outcome::converged;
         rec.final_shape = topology::classify_topology(result.state.graph());

@@ -14,8 +14,12 @@
 // tracked across PRs:
 //
 //   [{"n":..., "edges":..., "backend":"parallel", "graph":"csr",
-//     "threads":8, "pivots":0, "wall_ms":..., "speedup_vs_serial":...,
-//     "max_rel_error":...}, ...]
+//     "threads":8, "pivots":0, "obs":{"graph/sweep_source_parallel":...},
+//     "wall_ms":..., "speedup_vs_serial":..., "max_rel_error":...}, ...]
+//
+// The "obs" object mirrors the run's deterministic source-sweep count
+// under the runtime counter name (src/obs/), so a trace snapshot and a
+// committed bench record are comparable key for key.
 //
 // Every configuration runs PAIRED on both graph representations — the
 // mutable adjacency-list digraph ("adjacency") and the frozen flat CSR view
@@ -38,12 +42,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench_timing.h"
 #include "graph/betweenness.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -56,6 +60,10 @@ struct bench_record {
   std::string graph = "adjacency";  // "adjacency" | "csr"
   std::size_t threads = 1;
   std::size_t pivots = 0;
+  /// Single-source sweeps one run performs — deterministic (n for the
+  /// exact backends, the pivot count for sampled) and mirrored at runtime
+  /// by the graph/sweep_source_* obs counters.
+  std::uint64_t swept_sources = 0;
   double wall_ms = 0.0;
   double speedup_vs_serial = 0.0;
   double max_rel_error = 0.0;
@@ -129,27 +137,14 @@ void write_json(const std::string& path,
        << ", \"backend\": \"" << r.backend << "\", \"graph\": \"" << r.graph
        << "\", \"threads\": " << r.threads << ", \"pivots\": " << r.pivots
        << ", \"host_hw_threads\": " << hardware
+       << ", \"obs\": {\"graph/sweep_source_" << r.backend
+       << "\": " << r.swept_sources << "}"
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
        << ", \"max_rel_error\": " << r.max_rel_error << "}"
        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";
-}
-
-/// Best-of-R wall time for one configuration (result of the last run).
-template <typename Fn>
-double timed_ms(std::size_t repeat, Fn&& fn,
-                graph::betweenness_result* out) {
-  double best = 0.0;
-  for (std::size_t r = 0; r < repeat; ++r) {
-    stopwatch sw;
-    graph::betweenness_result result = fn();
-    const double ms = sw.elapsed_ms();
-    if (r == 0 || ms < best) best = ms;
-    if (out) *out = std::move(result);
-  }
-  return best;
 }
 
 int run(const bench_config& config) {
@@ -174,6 +169,8 @@ int run(const bench_config& config) {
       r.graph = graph_kind;
       r.threads = threads;
       r.pivots = pivots;
+      // Exact backends sweep every source; sampled sweeps its pivots.
+      r.swept_sources = pivots > 0 ? pivots : n;
       r.wall_ms = wall;
       r.speedup_vs_serial = wall > 0.0 ? serial_wall / wall : 0.0;
       r.max_rel_error = err;
@@ -195,11 +192,11 @@ int run(const bench_config& config) {
                             const graph::betweenness_result* exact)
         -> std::pair<graph::betweenness_result, double> {
       graph::betweenness_result adj;
-      const double adj_ms = timed_ms(
+      const double adj_ms = bench::best_of_ms(
           config.repeat,
           [&] { return graph::weighted_betweenness(g, w, options); }, &adj);
       graph::betweenness_result csr;
-      const double csr_ms = timed_ms(
+      const double csr_ms = bench::best_of_ms(
           config.repeat,
           [&] { return graph::weighted_betweenness(frozen, w, options); },
           &csr);

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_timing.h"
 #include "graph/generators.h"
 #include "runner/fixtures.h"
 #include "util/table.h"

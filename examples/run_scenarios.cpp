@@ -34,6 +34,10 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runner/executor.h"
 #include "runner/grid.h"
 #include "runner/registry.h"
@@ -58,6 +62,8 @@ struct cli_options {
   std::string format = "csv";
   std::string cache_dir;  // empty = no result cache
   bool no_cache = false;  // force caching off even with --cache-dir
+  std::string trace_path;  // empty = no trace (observability stays off)
+  bool metrics = false;    // human-readable obs digest on stderr
   std::optional<runner::shard_spec> shard;
   std::vector<std::pair<std::string, runner::value>> overrides;
 };
@@ -85,7 +91,8 @@ void print_usage(std::ostream& os) {
         "               [--set KEY=VALUE]...\n"
         "               [--jobs N] [--threads T] [--seeds K] [--seed S]\n"
         "               [--out FILE] [--format csv|jsonl] [--quiet]\n"
-        "               [--cache-dir DIR] [--no-cache] [--shard I/K]\n";
+        "               [--cache-dir DIR] [--no-cache] [--shard I/K]\n"
+        "               [--trace FILE.jsonl] [--metrics]\n";
 }
 
 std::optional<cli_options> parse_args(int argc, char** argv) {
@@ -149,6 +156,16 @@ std::optional<cli_options> parse_args(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       opt.no_cache = true;
+    } else if (arg == "--trace") {
+      const char* v = need_value("--trace");
+      if (!v) return std::nullopt;
+      opt.trace_path = v;
+      if (opt.trace_path.empty()) {
+        std::cerr << "lcg_run: --trace needs a non-empty path\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
     } else if (arg == "--shard") {
       const char* v = need_value("--shard");
       if (!v) return std::nullopt;
@@ -332,6 +349,24 @@ int main(int argc, char** argv) {
   const std::vector<runner::job>& selected_jobs =
       opt.shard ? shard_slice : jobs;
 
+  // Observability: --trace/--metrics flip the out-of-band registry on for
+  // this sweep. The trace file opens before the run so a bad path fails
+  // fast; it is written only after the run completes. Result bytes never
+  // depend on obs state (DESIGN.md §11) — CI byte-diffs this.
+  std::ofstream trace_file;
+  if (!opt.trace_path.empty()) {
+    trace_file.open(opt.trace_path);
+    if (!trace_file) {
+      std::cerr << "lcg_run: cannot open '" << opt.trace_path
+                << "' for writing\n";
+      return 1;
+    }
+  }
+  if (opt.metrics || !opt.trace_path.empty()) {
+    lcg::obs::registry::global().reset();
+    lcg::obs::registry::global().enable(true);
+  }
+
   runner::run_options run_opt;
   run_opt.jobs = opt.jobs;
   run_opt.threads_per_job = opt.threads;
@@ -380,9 +415,31 @@ int main(int argc, char** argv) {
     runner::write_jsonl(os, results);
   }
 
+  if (!opt.trace_path.empty()) {
+    lcg::obs::trace_info info;
+    info.host_threads = std::max(1u, std::thread::hardware_concurrency());
+    info.jobs = selected_jobs.size();
+    if (opt.shard) {
+      info.shard = std::to_string(opt.shard->index) + "/" +
+                   std::to_string(opt.shard->count);
+    }
+    lcg::obs::write_trace(trace_file, info);
+    trace_file.flush();
+    if (!trace_file) {
+      std::cerr << "lcg_run: failed writing trace to '" << opt.trace_path
+                << "'\n";
+      return 1;
+    }
+  }
+  if (opt.metrics) lcg::obs::write_metrics_summary(std::cerr);
+
   const runner::run_summary summary = runner::summarise(results);
   if (!opt.quiet) {
     std::cerr << "wall " << timer.elapsed_seconds() << "s: ";
+    runner::write_summary(std::cerr, summary);
+  } else if (opt.metrics) {
+    // --quiet --metrics still gets the digest's run summary (incl. the
+    // slowest-jobs table); only progress/noise is suppressed.
     runner::write_summary(std::cerr, summary);
   }
   return summary.failed == 0 ? 0 : 1;

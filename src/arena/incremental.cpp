@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "graph/betweenness.h"
+#include "obs/registry.h"
 #include "util/error.h"
 
 namespace lcg::arena {
@@ -13,6 +14,30 @@ namespace lcg::arena {
 namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Obs mirrors of the sweep_stats ledger (provider.h): every `++stats.X`
+/// below pairs with one counter add, so the per-run ledger (the
+/// run_result.sweeps API) and the process-wide registry never diverge.
+struct arena_counters {
+  obs::counter& forest;
+  obs::counter& resweep;
+  obs::counter& accumulate;
+  obs::counter& support_bfs;
+  obs::counter& prune;
+  obs::counter& truncate;
+  static const arena_counters& get() {
+    auto& reg = obs::registry::global();
+    static const arena_counters c{
+        reg.get_counter("arena/build_forest"),
+        reg.get_counter("arena/resweep_source"),
+        reg.get_counter("arena/accumulate_source"),
+        reg.get_counter("arena/run_support_bfs"),
+        reg.get_counter("arena/prune_candidate"),
+        reg.get_counter("arena/truncate_merge"),
+    };
+    return c;
+  }
+};
 constexpr std::int64_t far = std::numeric_limits<std::int32_t>::max();
 
 /// Hop distance as an arithmetic-friendly value (unreachable -> "far",
@@ -120,6 +145,7 @@ const graph::sp_dag& candidate_evaluator::base_dag(std::size_t i) {
     if (it == ses.cache->dag.end()) {
       it = ses.cache->dag.emplace(s, graph::shortest_path_dag(work_, s)).first;
       ++provider_.mutable_stats().forest;
+      arena_counters::get().forest.add();
     }
     ses.dag[i] = &it->second;
   }
@@ -161,6 +187,7 @@ double candidate_evaluator::base_value() {
 
   const std::vector<std::int32_t> dist_u = graph::bfs_distances(work_, u_);
   ++stats.support_bfs;
+  arena_counters::get().support_bfs.add();
   const double fees = fees_of(rows.row(u_), dist_u, u_, provider_.a_of(u_));
   const double cost = provider_.l_of(u_) * p.cost_share *
                       static_cast<double>(work_.out_degree(u_));
@@ -173,6 +200,7 @@ double candidate_evaluator::base_value() {
         [&rows](graph::node_id a, graph::node_id b) { return rows.row(a)[b]; },
         ses.delta);
     ++stats.accumulations;
+    arena_counters::get().accumulate.add();
     acc += ses.plan.scale * ses.delta[u_];
   }
   const double revenue = provider_.b_of(u_) * acc;
@@ -211,6 +239,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
     if (it == ses.peer_dist.end()) {
       it = ses.peer_dist.emplace(v, graph::bfs_distances(work_, v)).first;
       ++stats.support_bfs;
+      arena_counters::get().support_bfs.add();
     }
     return it->second;
   };
@@ -247,6 +276,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
   const lazy_prob_rows rows(work_, p.s, p.basis, provider_.active());
   const std::vector<std::int32_t> fee_dist = graph::bfs_distances(work_, u_);
   ++stats.support_bfs;
+  arena_counters::get().support_bfs.add();
   const double fees = fees_of(rows.row(u_), fee_dist, u_, provider_.a_of(u_));
   const double cost = provider_.l_of(u_) * p.cost_share *
                       static_cast<double>(work_.out_degree(u_));
@@ -317,6 +347,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
     const double margin = 1e-6 + 1e-9 * std::abs(ub_total);
     if (ub_total + margin <= threshold_) {
       ++stats.pruned;
+      arena_counters::get().prune.add();
       toggle_diff(set, /*on=*/false);
       return ub_total;
     }
@@ -352,6 +383,7 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
         const double margin = 1e-6 + 1e-9 * std::abs(potential);
         if (potential + margin <= threshold_) {
           ++stats.truncated;
+          arena_counters::get().truncate.add();
           toggle_diff(set, /*on=*/false);
           return potential;
         }
@@ -359,9 +391,11 @@ double candidate_evaluator::evaluate(const std::vector<graph::node_id>& set) {
       const graph::sp_dag fresh = graph::shortest_path_dag(work_, s);
       graph::source_dependencies(work_, fresh, s, w, ses.delta);
       ++stats.resweeps;
+      arena_counters::get().resweep.add();
     } else {
       graph::source_dependencies(work_, *ses.dag[i], s, w, ses.delta);
       ++stats.accumulations;
+      arena_counters::get().accumulate.add();
     }
     acc += ses.plan.scale * ses.delta[u_];
   }

@@ -7,6 +7,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "pcn/network.h"
 #include "util/error.h"
 
@@ -233,6 +235,9 @@ population_result run_population(const graph::digraph& start,
     base.state.apply(dev);
     base.total_gain += dev.gain();
     base.moves.push_back(arena_move{round, dev});
+    static obs::counter& moves_counter =
+        obs::registry::global().get_counter("arena/apply_move");
+    moves_counter.add();
   };
 
   const std::vector<churn_event>& events = options.churn.events;
@@ -240,6 +245,12 @@ population_result run_population(const graph::digraph& start,
 
   for (std::size_t round = 0; round < ao.max_rounds; ++round) {
     ++base.rounds;
+    static obs::counter& rounds_counter =
+        obs::registry::global().get_counter("arena/run_round");
+    rounds_counter.add();
+    obs::span round_span("arena/round");
+    round_span.attr("round", static_cast<long long>(round))
+        .attr("n", static_cast<long long>(n));
 
     // --- churn: events scheduled for this round fire before anyone moves.
     bool perturbed = false;

@@ -7,6 +7,7 @@
 #include "dist/zipf.h"
 #include "graph/csr.h"
 #include "graph/traversal.h"
+#include "obs/registry.h"
 #include "util/error.h"
 
 namespace lcg::arena {
@@ -14,6 +15,14 @@ namespace lcg::arena {
 namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Mirror of sweep_stats::full_sweeps (provider.h): the per-run ledger
+/// stays the API, the obs counter aggregates process-wide.
+obs::counter& full_sweep_counter() {
+  static obs::counter& c =
+      obs::registry::global().get_counter("arena/sweep_full");
+  return c;
+}
 
 }  // namespace
 
@@ -95,7 +104,9 @@ topology::utility_breakdown utility_provider::evaluate(
   LCG_EXPECTS(g.has_node(u));
   ++evaluations_;
   const graph::betweenness_options backend = backend_for(g.node_count());
-  stats_.full_sweeps += swept_sources(backend, g.node_count() - 1);
+  const std::uint64_t swept = swept_sources(backend, g.node_count() - 1);
+  stats_.full_sweeps += swept;
+  full_sweep_counter().add(swept);
   const lazy_prob_rows rows(g, params_.s, params_.basis, active_);
   // One O(n + m) freeze buys the whole sweep flat-array locality; the frozen
   // view is bitwise-equivalent to the adjacency path on every backend, so
@@ -119,7 +130,9 @@ topology::utility_breakdown utility_provider::evaluate(
 std::vector<double> utility_provider::node_scores(
     const graph::digraph& g) const {
   const graph::betweenness_options backend = backend_for(g.node_count());
-  stats_.full_sweeps += swept_sources(backend, g.node_count());
+  const std::uint64_t swept = swept_sources(backend, g.node_count());
+  stats_.full_sweeps += swept;
+  full_sweep_counter().add(swept);
   const lazy_prob_rows rows(g, params_.s, params_.basis, active_);
   const graph::csr_graph frozen = graph::freeze(g);
   const graph::betweenness_result bw = graph::weighted_betweenness(

@@ -10,6 +10,7 @@
 
 #include "graph/csr.h"
 #include "graph/traversal.h"
+#include "obs/registry.h"
 #include "util/rng.h"
 
 namespace lcg::graph {
@@ -272,6 +273,30 @@ std::vector<node_id> sample_betweenness_pivots(std::size_t n, std::size_t k,
 
 namespace {
 
+/// Per-backend obs mirror of how many sources a computation sweeps —
+/// the observable cost unit of the whole engine (PR 7's one-off ledger
+/// generalised). One relaxed load when obs is disabled.
+void count_swept_sources(betweenness_backend backend, std::size_t sources) {
+  if (!obs::enabled()) return;
+  static obs::counter& serial =
+      obs::registry::global().get_counter("graph/sweep_source_serial");
+  static obs::counter& parallel =
+      obs::registry::global().get_counter("graph/sweep_source_parallel");
+  static obs::counter& sampled =
+      obs::registry::global().get_counter("graph/sweep_source_sampled");
+  switch (backend) {
+    case betweenness_backend::serial:
+      serial.add(sources);
+      break;
+    case betweenness_backend::parallel:
+      parallel.add(sources);
+      break;
+    case betweenness_backend::sampled:
+      sampled.add(sources);
+      break;
+  }
+}
+
 /// Shared by the digraph and CSR entry points: the backend dispatch is
 /// identical, only the adjacency view differs.
 template <typename View>
@@ -284,6 +309,7 @@ betweenness_result weighted_betweenness_on(const View& view,
   result.edge.assign(edge_slots, 0.0);
   auto [sources, scale] =
       select_sources(view.node_count(), options, invalid_node);
+  count_swept_sources(options.backend, sources.size());
   run_sweeps(view, sources, w, scale,
              effective_threads(options, sources.size()), &result.node,
              &result.edge);
@@ -298,6 +324,7 @@ double node_betweenness_of_on(const View& view, node_id u,
   // Pairs with source u are not routed *through* u, so u is excluded from
   // the source population (and from the sampled pivot pool).
   auto [sources, scale] = select_sources(view.node_count(), options, u);
+  count_swept_sources(options.backend, sources.size());
   run_sweeps(view, sources, w, scale,
              effective_threads(options, sources.size()), &node_acc, nullptr);
   return node_acc[u];

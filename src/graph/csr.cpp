@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/error.h"
 
 namespace lcg::graph {
 
+namespace {
+
+/// freeze() runs once per utility evaluation in the arena hot loop, so
+/// its obs cost matters: one relaxed load disabled, a counter bump and a
+/// histogram record enabled.
+struct view_metrics {
+  obs::counter& freeze;
+  obs::counter& thaw;
+  obs::histogram& freeze_seconds;
+  obs::histogram& thaw_seconds;
+  static const view_metrics& get() {
+    auto& reg = obs::registry::global();
+    static const std::vector<double> bounds{1e-6, 1e-5, 1e-4, 1e-3,
+                                            0.01, 0.1,  1,    10};
+    static const view_metrics m{
+        reg.get_counter("graph/freeze_view"),
+        reg.get_counter("graph/thaw_view"),
+        reg.get_histogram("graph/freeze_seconds", bounds),
+        reg.get_histogram("graph/thaw_seconds", bounds),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 csr_graph freeze(const digraph& g) {
+  obs::scoped_timer timer(view_metrics::get().freeze_seconds);
+  view_metrics::get().freeze.add();
   const std::size_t n = g.node_count();
   csr_graph c;
   c.node_count_ = n;
@@ -34,6 +64,8 @@ csr_graph freeze(const digraph& g) {
 }
 
 digraph thaw(const csr_graph& c) {
+  obs::scoped_timer timer(view_metrics::get().thaw_seconds);
+  view_metrics::get().thaw.add();
   digraph g(c.node_count());
   for (node_id v = 0; v < c.node_count(); ++v) {
     c.for_each_out(v, [&](csr_graph::packed_id k, node_id dst) {

@@ -1,0 +1,134 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace lcg::obs {
+
+namespace {
+
+std::vector<double> default_bounds() {
+  // Decade grid covering microseconds to ~11 days when recording seconds,
+  // and 1..10^6 when recording small counts.
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6};
+}
+
+}  // namespace
+
+histogram::histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+registry::registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+registry& registry::global() {
+  // Leaked on purpose: instrumentation sites hold references in
+  // function-local statics whose destruction order vs this singleton is
+  // unspecified; a never-destroyed registry keeps them valid forever.
+  static registry* instance = new registry();
+  return *instance;
+}
+
+void registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  spans_.clear();
+  span_ids_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+counter& registry::get_counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<counter>(new counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<gauge>(new gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+histogram& registry::get_histogram(std::string_view name,
+                                   const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<histogram>(new histogram(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+metrics_snapshot registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.gauges.push_back({name, g->value(), g->peak()});
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    histogram_snapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.max = h->max();
+    out.histograms.push_back(std::move(hs));
+  }
+  return out;
+}
+
+void registry::record_span(span_record rec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<span_record> registry::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+double registry::since_epoch_us(
+    std::chrono::steady_clock::time_point t) const noexcept {
+  return std::chrono::duration<double, std::micro>(t - epoch_).count();
+}
+
+}  // namespace lcg::obs

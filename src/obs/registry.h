@@ -1,0 +1,265 @@
+// Process-wide observability registry: counters, gauges, histograms.
+//
+// The contract (DESIGN.md §11) is that observability is *out-of-band*:
+// enabling it never changes a byte of scenario CSV/JSONL output, cache
+// keys, or bench result fields — instrumentation only ever writes into
+// this registry, never into result rows. A disabled registry costs one
+// relaxed atomic load per instrumentation site: every mutating entry
+// point (counter::add, gauge::add, histogram::record, span construction)
+// checks obs::enabled() first and returns immediately when it is false.
+//
+// Metric handles returned by registry::get_* have stable addresses for
+// the lifetime of the process (metrics are never deallocated; reset()
+// zeroes values in place), so instrumentation sites resolve a handle
+// once — typically into a function-local static — and afterwards pay
+// only the enabled() check.
+//
+// Naming scheme: `subsystem/verb_noun` for counters (runner/hit_cache,
+// arena/resweep_source), `subsystem/noun` for gauges, and
+// `subsystem/noun_unit` for histograms (runner/job_seconds).
+
+#ifndef LCG_OBS_REGISTRY_H
+#define LCG_OBS_REGISTRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lcg::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<std::int64_t>& target,
+                       std::int64_t v) noexcept {
+  std::int64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Global observability switch. Off by default; flipped by
+/// registry::enable(). Relaxed: instrumentation needs no ordering with
+/// the switch, only the guarantee that a never-enabled process pays one
+/// load per site.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count. add() is lock-free and exact
+/// under concurrency (fetch_add).
+class counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class registry;
+  counter() = default;
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A signed level that moves up and down (e.g. in-flight payments).
+/// Tracks the peak value seen since the last reset.
+class gauge {
+ public:
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    detail::atomic_max(peak_, now);
+  }
+
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    detail::atomic_max(peak_, v);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class registry;
+  gauge() = default;
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are inclusive upper edges in
+/// ascending order; one implicit overflow bucket catches everything
+/// above the last edge. Bounds are fixed at first registration — later
+/// get_histogram() calls for the same name return the existing
+/// histogram regardless of the bounds they pass.
+class histogram {
+ public:
+  void record(double v) noexcept {
+    if (!enabled()) return;
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, v);
+    detail::atomic_max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  [[nodiscard]] double max() const noexcept {
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  friend class registry;
+  explicit histogram(std::vector<double> bounds);
+  void reset() noexcept;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One finished trace span (see obs/span.h). Deterministic identity —
+/// name and attrs — is kept apart from timing (start_us/dur_us/timings
+/// /thread), so traces from jobs=1 and jobs=8 runs carry the same span
+/// set even though every timestamp differs.
+struct span_record {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (no enclosing span on thread)
+  std::string name;
+  /// Deterministic key=value labels, in the order the site added them.
+  std::vector<std::pair<std::string, std::string>> attrs;
+  /// Measured sub-durations in seconds (e.g. queue-wait); never part of
+  /// the span's identity.
+  std::vector<std::pair<std::string, double>> timings;
+  double start_us = 0.0;  ///< microseconds since the registry epoch
+  double dur_us = 0.0;
+  std::uint32_t thread = 0;  ///< small per-process thread index
+};
+
+struct gauge_snapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+};
+
+struct histogram_snapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct metrics_snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<gauge_snapshot> gauges;
+  std::vector<histogram_snapshot> histograms;
+};
+
+/// The process-wide metric and span store. get_* registers on first use
+/// and returns a stable reference afterwards; all three are safe to
+/// call concurrently. The singleton is intentionally leaked so handles
+/// cached in function-local statics stay valid through static
+/// destruction.
+class registry {
+ public:
+  static registry& global();
+
+  /// Flip the process-wide switch. Enabling does not clear prior state;
+  /// call reset() first for a fresh window.
+  void enable(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Zero every metric in place (addresses survive), drop all finished
+  /// spans, and re-arm the span-timestamp epoch.
+  void reset();
+
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  /// `bounds` are inclusive ascending upper edges, used only on first
+  /// registration; empty means the default decade grid 1e-6 .. 1e6.
+  histogram& get_histogram(std::string_view name,
+                           const std::vector<double>& bounds = {});
+
+  [[nodiscard]] metrics_snapshot snapshot() const;
+
+  // -- span support (used by obs::span; not an instrumentation API) --
+  std::uint64_t next_span_id() noexcept {
+    return span_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void record_span(span_record rec);
+  [[nodiscard]] std::vector<span_record> spans() const;
+  /// Microseconds from the epoch armed by the last reset() to `t`.
+  [[nodiscard]] double since_epoch_us(
+      std::chrono::steady_clock::time_point t) const noexcept;
+
+ private:
+  registry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<histogram>, std::less<>> histograms_;
+  std::vector<span_record> spans_;
+  std::atomic<std::uint64_t> span_ids_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace lcg::obs
+
+#endif  // LCG_OBS_REGISTRY_H

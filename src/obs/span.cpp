@@ -1,0 +1,66 @@
+#include "obs/span.h"
+
+#include <charconv>
+
+#include "util/format.h"
+
+namespace lcg::obs {
+
+namespace {
+
+std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+// The innermost open span on this thread; new spans parent-link to it.
+thread_local std::uint64_t tl_current_span = 0;
+
+}  // namespace
+
+span::span(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  registry& reg = registry::global();
+  rec_.id = reg.next_span_id();
+  rec_.parent = tl_current_span;
+  rec_.name = name;
+  rec_.thread = thread_index();
+  start_ = std::chrono::steady_clock::now();
+  tl_current_span = rec_.id;
+}
+
+span& span::attr(std::string_view key, std::string_view v) {
+  if (active_) rec_.attrs.emplace_back(std::string(key), std::string(v));
+  return *this;
+}
+
+span& span::attr(std::string_view key, long long v) {
+  if (active_) rec_.attrs.emplace_back(std::string(key), std::to_string(v));
+  return *this;
+}
+
+span& span::attr(std::string_view key, double v) {
+  if (active_) rec_.attrs.emplace_back(std::string(key), render_double(v));
+  return *this;
+}
+
+span& span::timing(std::string_view key, double seconds) {
+  if (active_) rec_.timings.emplace_back(std::string(key), seconds);
+  return *this;
+}
+
+void span::end() {
+  if (!active_) return;
+  active_ = false;
+  const auto now = std::chrono::steady_clock::now();
+  registry& reg = registry::global();
+  rec_.start_us = reg.since_epoch_us(start_);
+  rec_.dur_us = std::chrono::duration<double, std::micro>(now - start_).count();
+  tl_current_span = rec_.parent;
+  reg.record_span(std::move(rec_));
+}
+
+}  // namespace lcg::obs

@@ -1,0 +1,45 @@
+// Trace serialization: JSONL span dumps (--trace) and the
+// human-readable metrics digest (--metrics).
+//
+// A trace file is line-delimited JSON: one provenance header line, one
+// line per finished span, and one final metrics-snapshot line — all
+// read from registry::global(). Schema (versioned by the header's
+// "schema" field):
+//
+//   {"kind":"header","schema":1,"host_threads":8,"jobs":12,"shard":"0/1"}
+//   {"kind":"span","id":3,"parent":1,"thread":2,"name":"runner/job",
+//    "start_us":12.5,"dur_us":804.1,
+//    "attrs":{"scenario":"arena/churn","seed":"42"},
+//    "timings":{"queue_s":0.0001}}
+//   {"kind":"snapshot","counters":{...},"gauges":{...},"histograms":{...}}
+//
+// Only the timing fields (start_us/dur_us/timings and the thread index)
+// vary across equivalent runs; kind/name/attrs are deterministic.
+
+#ifndef LCG_OBS_TRACE_H
+#define LCG_OBS_TRACE_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace lcg::obs {
+
+/// Provenance recorded in the trace header line.
+struct trace_info {
+  int schema = 1;
+  std::size_t host_threads = 0;  ///< std::thread::hardware_concurrency
+  std::size_t jobs = 0;          ///< jobs in the traced sweep
+  std::string shard = "0/1";     ///< "--shard i/k" slice ("0/1" = unsharded)
+};
+
+/// Write the full trace (header + spans + snapshot) from the global
+/// registry.
+void write_trace(std::ostream& os, const trace_info& info);
+
+/// Human-readable counters/gauges/histograms digest for --metrics.
+void write_metrics_summary(std::ostream& os);
+
+}  // namespace lcg::obs
+
+#endif  // LCG_OBS_TRACE_H

@@ -5,16 +5,35 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <istream>
 #include <random>
 #include <string_view>
 #include <system_error>
 #include <variant>
 
+#include "obs/registry.h"
 #include "util/format.h"
 
 namespace lcg::runner {
 
 namespace {
+
+/// Handles resolved once; add() is a relaxed no-op while obs is disabled.
+struct cache_counters {
+  obs::counter& hit;
+  obs::counter& miss;
+  obs::counter& corrupt;  ///< entry present but unusable (damaged/mismatch)
+  obs::counter& write;
+  static const cache_counters& get() {
+    static const cache_counters c{
+        obs::registry::global().get_counter("runner/hit_cache"),
+        obs::registry::global().get_counter("runner/miss_cache"),
+        obs::registry::global().get_counter("runner/fallback_corrupt_entry"),
+        obs::registry::global().get_counter("runner/write_cache"),
+    };
+    return c;
+  }
+};
 
 // Entry grammar (strictly line-based; every field is %-escaped so embedded
 // newlines/spaces cannot break the structure):
@@ -151,6 +170,57 @@ std::string unique_temp_suffix() {
   return buf;
 }
 
+/// Parse one on-disk entry; nullopt on any structural damage or a key
+/// mismatch (hash collision / older key scheme). The stream is already
+/// open — file absence is decided by the caller, so the hit / miss /
+/// corrupt-fallback counters stay distinguishable.
+std::optional<std::vector<result_row>> parse_entry(std::istream& in,
+                                                   const std::string& key) {
+  std::string line;
+  const auto next = [&]() -> bool { return bool(std::getline(in, line)); };
+
+  if (!next() || line != kMagic) return std::nullopt;
+  if (!next() || !line.starts_with("key ")) return std::nullopt;
+  // Full-key verification: a hash collision or a file carried over from an
+  // older key scheme reads as a miss, never as wrong rows.
+  if (line.substr(4) != escape(key)) return std::nullopt;
+  if (!next() || !line.starts_with("rows ")) return std::nullopt;
+  const std::optional<std::size_t> row_count =
+      parse_whole<std::size_t>(std::string_view(line).substr(5));
+  if (!row_count) return std::nullopt;
+
+  std::vector<result_row> rows;
+  // A corrupt count must not pre-allocate terabytes; growth past the
+  // clamp is amortised, and a lying count fails the per-row parse anyway.
+  rows.reserve(std::min<std::size_t>(*row_count, 4096));
+  for (std::size_t r = 0; r < *row_count; ++r) {
+    if (!next() || !line.starts_with("cells ")) return std::nullopt;
+    const std::optional<std::size_t> cell_count =
+        parse_whole<std::size_t>(std::string_view(line).substr(6));
+    if (!cell_count) return std::nullopt;
+    result_row row;
+    for (std::size_t c = 0; c < *cell_count; ++c) {
+      if (!next()) return std::nullopt;
+      // "<t> <name> <value>"; value may be empty (trailing space present).
+      if (line.size() < 2 || line[1] != ' ') return std::nullopt;
+      const std::size_t name_end = line.find(' ', 2);
+      if (name_end == std::string::npos) return std::nullopt;
+      const std::optional<std::string> name =
+          unescape(std::string_view(line).substr(2, name_end - 2));
+      if (!name || name->empty()) return std::nullopt;
+      std::optional<value> v = parse_cell_value(
+          line[0], std::string_view(line).substr(name_end + 1));
+      if (!v) return std::nullopt;
+      row.set(std::move(*name), std::move(*v));
+    }
+    if (row.cells().size() != *cell_count) return std::nullopt;  // dup names
+    rows.push_back(std::move(row));
+  }
+  if (!next() || line != "end") return std::nullopt;
+  if (next()) return std::nullopt;  // trailing junk
+  return rows;
+}
+
 }  // namespace
 
 std::string cache_key(const job& j) {
@@ -202,55 +272,21 @@ std::optional<std::vector<result_row>> result_cache::lookup(
     const job& j) const try {
   const std::string key = cache_key(j);
   std::ifstream in(path_for_key(key), std::ios::binary);
-  if (!in) return std::nullopt;
-
-  std::string line;
-  const auto next = [&]() -> bool { return bool(std::getline(in, line)); };
-
-  if (!next() || line != kMagic) return std::nullopt;
-  if (!next() || !line.starts_with("key ")) return std::nullopt;
-  // Full-key verification: a hash collision or a file carried over from an
-  // older key scheme reads as a miss, never as wrong rows.
-  if (line.substr(4) != escape(key)) return std::nullopt;
-  if (!next() || !line.starts_with("rows ")) return std::nullopt;
-  const std::optional<std::size_t> row_count =
-      parse_whole<std::size_t>(std::string_view(line).substr(5));
-  if (!row_count) return std::nullopt;
-
-  std::vector<result_row> rows;
-  // A corrupt count must not pre-allocate terabytes; growth past the
-  // clamp is amortised, and a lying count fails the per-row parse anyway.
-  rows.reserve(std::min<std::size_t>(*row_count, 4096));
-  for (std::size_t r = 0; r < *row_count; ++r) {
-    if (!next() || !line.starts_with("cells ")) return std::nullopt;
-    const std::optional<std::size_t> cell_count =
-        parse_whole<std::size_t>(std::string_view(line).substr(6));
-    if (!cell_count) return std::nullopt;
-    result_row row;
-    for (std::size_t c = 0; c < *cell_count; ++c) {
-      if (!next()) return std::nullopt;
-      // "<t> <name> <value>"; value may be empty (trailing space present).
-      if (line.size() < 2 || line[1] != ' ') return std::nullopt;
-      const std::size_t name_end = line.find(' ', 2);
-      if (name_end == std::string::npos) return std::nullopt;
-      const std::optional<std::string> name =
-          unescape(std::string_view(line).substr(2, name_end - 2));
-      if (!name || name->empty()) return std::nullopt;
-      std::optional<value> v = parse_cell_value(
-          line[0], std::string_view(line).substr(name_end + 1));
-      if (!v) return std::nullopt;
-      row.set(std::move(*name), std::move(*v));
-    }
-    if (row.cells().size() != *cell_count) return std::nullopt;  // dup names
-    rows.push_back(std::move(row));
+  if (!in) {
+    cache_counters::get().miss.add();
+    return std::nullopt;
   }
-  if (!next() || line != "end") return std::nullopt;
-  if (next()) return std::nullopt;  // trailing junk
+  std::optional<std::vector<result_row>> rows = parse_entry(in, key);
+  if (rows)
+    cache_counters::get().hit.add();
+  else
+    cache_counters::get().corrupt.add();
   return rows;
 } catch (...) {
   // Any exception while reading (allocation on an absurd count, fs
   // surprises) is just a damaged entry: miss, recompute, rewrite. Cache
   // trouble must never fail a run.
+  cache_counters::get().corrupt.add();
   return std::nullopt;
 }
 
@@ -280,6 +316,7 @@ bool result_cache::store(const job& j,
     std::filesystem::remove(tmp, ec);
     return false;
   }
+  cache_counters::get().write.add();
   return true;
 } catch (...) {
   // E.g. std::random_device with no entropy source, or an allocation

@@ -2,20 +2,64 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runner/cache.h"
+#include "runner/reporter.h"
 #include "util/timer.h"
 
 namespace lcg::runner {
+
+namespace {
+
+struct executor_metrics {
+  obs::counter& run_job;
+  obs::counter& fail_job;
+  obs::histogram& job_seconds;
+  obs::histogram& queue_wait_seconds;
+  static const executor_metrics& get() {
+    static const executor_metrics m{
+        obs::registry::global().get_counter("runner/run_job"),
+        obs::registry::global().get_counter("runner/fail_job"),
+        obs::registry::global().get_histogram(
+            "runner/job_seconds",
+            {1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300}),
+        obs::registry::global().get_histogram(
+            "runner/queue_wait_seconds",
+            {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10, 100}),
+    };
+    return m;
+  }
+};
+
+/// Every attr here is a deterministic function of the job identity, so
+/// the span set of a sweep is invariant across --jobs counts.
+void annotate_job_span(obs::span& s, const job& j,
+                       std::string_view cache_status) {
+  if (!s.active()) return;
+  s.attr("scenario", j.sc->name);
+  s.attr("seed", std::to_string(j.seed));
+  s.attr("replicate", static_cast<long long>(j.replicate));
+  s.attr("params", render_params(j.params));
+  s.attr("cache", cache_status);
+}
+
+}  // namespace
 
 std::vector<job_result> run_jobs(const std::vector<job>& jobs,
                                  const run_options& options) {
   std::vector<job_result> results(jobs.size());
   if (jobs.empty()) return results;
+
+  obs::span sweep_span("runner/sweep");
+  sweep_span.attr("jobs", static_cast<long long>(jobs.size()));
 
   std::optional<result_cache> cache;
   if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
@@ -33,6 +77,8 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
       std::optional<std::vector<result_row>> rows = cache->lookup(jobs[i]);
       if (rows) {
         const job& j = jobs[i];
+        obs::span job_span("runner/job");
+        annotate_job_span(job_span, j, "hit");
         job_result& out = results[i];
         out.scenario = j.sc->name;
         out.params = j.params;
@@ -41,6 +87,7 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
         out.rows = std::move(*rows);
         out.from_cache = true;
         out.wall_seconds = timer.elapsed_seconds();
+        job_span.timing("lookup_s", out.wall_seconds);
         if (options.on_progress)
           options.on_progress(++finished, jobs.size(), out);
         continue;
@@ -63,6 +110,9 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
                                    : std::max<std::size_t>(1, hardware / workers);
 
   std::atomic<std::size_t> cursor{0};
+  // Queue-wait is measured from here: the point the pending list is final
+  // and workers may start pulling from it.
+  const auto queue_epoch = std::chrono::steady_clock::now();
 
   const auto worker_loop = [&]() {
     for (;;) {
@@ -70,6 +120,15 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
       if (slot >= pending.size()) return;
       const std::size_t i = pending[slot];
       const job& j = jobs[i];
+      obs::span job_span("runner/job");
+      annotate_job_span(job_span, j, cache ? "miss" : "off");
+      if (job_span.active()) {
+        const double wait = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - queue_epoch)
+                                .count();
+        job_span.timing("queue_s", wait);
+        executor_metrics::get().queue_wait_seconds.record(wait);
+      }
       job_result& out = results[i];
       out.scenario = j.sc->name;
       out.params = j.params;
@@ -85,6 +144,10 @@ std::vector<job_result> run_jobs(const std::vector<job>& jobs,
         out.error = "unknown exception";
       }
       out.wall_seconds = timer.elapsed_seconds();
+      executor_metrics::get().run_job.add();
+      if (!out.ok()) executor_metrics::get().fail_job.add();
+      executor_metrics::get().job_seconds.record(out.wall_seconds);
+      job_span.timing("run_s", out.wall_seconds);
       // Only successes are cached: a failed job must be retried next run.
       // store() is atomic (temp + rename), so concurrent workers — even
       // racing on the same key — are safe.

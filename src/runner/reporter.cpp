@@ -16,6 +16,17 @@ std::string render_value(const value& v) {
   return render_double(std::get<double>(v));
 }
 
+std::string render_params(const param_map& params) {
+  std::string out;
+  for (const auto& [key, v] : params) {
+    if (!out.empty()) out += ' ';
+    out += key;
+    out += '=';
+    out += render_value(v);
+  }
+  return out;
+}
+
 namespace {
 
 std::string csv_escape(const std::string& cell) {
@@ -201,17 +212,51 @@ run_summary summarise(const std::vector<job_result>& results) {
     }
   }
   s.errors.assign(errors.begin(), errors.end());
+
+  // Top-5 slowest jobs, slowest first. Wall times are the one
+  // non-deterministic input here, which is fine: the table is stderr-only
+  // and never part of the result output.
+  std::vector<const job_result*> by_wall;
+  by_wall.reserve(results.size());
+  for (const job_result& r : results) by_wall.push_back(&r);
+  const std::size_t top = std::min<std::size_t>(5, by_wall.size());
+  std::partial_sort(by_wall.begin(), by_wall.begin() + top, by_wall.end(),
+                    [](const job_result* a, const job_result* b) {
+                      return a->wall_seconds > b->wall_seconds;
+                    });
+  for (std::size_t i = 0; i < top; ++i) {
+    const job_result& r = *by_wall[i];
+    s.slowest.push_back(
+        {r.scenario, render_params(r.params), r.wall_seconds, r.from_cache});
+  }
   return s;
 }
 
 void write_summary(std::ostream& os, const run_summary& summary) {
   os << summary.jobs << " job(s), " << summary.rows << " row(s), "
      << summary.failed << " failed";
-  if (summary.cache_hits > 0)
-    os << ", " << summary.cache_hits << "/" << summary.jobs << " from cache";
+  if (summary.cache_hits > 0) {
+    const double rate = 100.0 * static_cast<double>(summary.cache_hits) /
+                        static_cast<double>(summary.jobs);
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.1f", rate);
+    os << ", " << summary.cache_hits << "/" << summary.jobs << " from cache ("
+       << pct << "%)";
+  }
   os << "; wall " << render_double(summary.total_wall_seconds)
      << "s total, " << render_double(summary.max_wall_seconds)
      << "s slowest job\n";
+  if (!summary.slowest.empty()) {
+    os << "  slowest job(s):\n";
+    for (const slow_job& j : summary.slowest) {
+      char secs[32];
+      std::snprintf(secs, sizeof(secs), "%10.4fs", j.wall_seconds);
+      os << "  " << secs << "  " << j.scenario;
+      if (!j.params.empty()) os << " (" << j.params << ')';
+      if (j.from_cache) os << "  [cached]";
+      os << '\n';
+    }
+  }
   for (const std::string& e : summary.errors) os << "  error: " << e << '\n';
 }
 

@@ -27,6 +27,11 @@ namespace lcg::runner {
 /// sweep values through this too, so docs and CSV cells cannot drift.
 [[nodiscard]] std::string render_value(const value& v);
 
+/// "k=v k=v" over a parameter map (deterministic: param_map is sorted).
+/// Shared by the summary's slowest-jobs table and the executor's trace
+/// span attributes, so both label a job identically.
+[[nodiscard]] std::string render_params(const param_map& params);
+
 /// The merged header for a result set: "scenario", "seed", "replicate",
 /// sorted parameter keys, then result columns in first-appearance order.
 [[nodiscard]] std::vector<std::string> merged_columns(
@@ -59,6 +64,14 @@ void write_csv(std::ostream& os, const std::vector<job_result>& results,
 /// "error" field instead, so JSONL output is loss-less.
 void write_jsonl(std::ostream& os, const std::vector<job_result>& results);
 
+/// One entry of the slowest-jobs table.
+struct slow_job {
+  std::string scenario;
+  std::string params;  ///< render_params() of the job's parameters
+  double wall_seconds = 0.0;
+  bool from_cache = false;
+};
+
 struct run_summary {
   std::size_t jobs = 0;
   std::size_t failed = 0;
@@ -67,6 +80,8 @@ struct run_summary {
   double total_wall_seconds = 0.0;  ///< summed across jobs
   double max_wall_seconds = 0.0;
   std::vector<std::string> errors;  ///< "scenario: message", deduplicated
+  /// Top 5 jobs by wall time, slowest first (executed and cached alike).
+  std::vector<slow_job> slowest;
 };
 
 [[nodiscard]] run_summary summarise(const std::vector<job_result>& results);

@@ -4,6 +4,8 @@
 #include <deque>
 #include <optional>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "pcn/reset.h"
 #include "traffic/events.h"
 #include "traffic/htlc.h"
@@ -12,6 +14,51 @@
 
 namespace lcg::traffic {
 namespace {
+
+/// Per-payment instrumentation is limited to what stays cheap at >10^6
+/// payments: one gauge move per dispatch/complete and one histogram
+/// record per routed attempt / delivery (each a single relaxed load when
+/// obs is disabled). Event-grained counters flush once per run from the
+/// traffic_metrics ledger instead of firing per event.
+struct traffic_obs {
+  obs::counter& attempt;
+  obs::counter& deliver;
+  obs::counter& fail_no_route;
+  obs::counter& fail_mid_flight;
+  obs::counter& timeout;
+  obs::counter& retry;
+  obs::counter& fail_lock;
+  obs::counter& process_event;
+  obs::counter& refresh_gossip;
+  obs::counter& reset_balance;
+  obs::counter& reject_infeasible;
+  obs::gauge& inflight;
+  obs::histogram& latency;
+  obs::histogram& route_length;
+  static const traffic_obs& get() {
+    auto& reg = obs::registry::global();
+    static const traffic_obs t{
+        reg.get_counter("traffic/attempt_payment"),
+        reg.get_counter("traffic/deliver_payment"),
+        reg.get_counter("traffic/fail_no_route"),
+        reg.get_counter("traffic/fail_mid_flight"),
+        reg.get_counter("traffic/timeout_payment"),
+        reg.get_counter("traffic/retry_payment"),
+        reg.get_counter("traffic/fail_lock"),
+        reg.get_counter("traffic/process_event"),
+        reg.get_counter("traffic/refresh_gossip"),
+        reg.get_counter("traffic/reset_balance"),
+        reg.get_counter("traffic/reject_infeasible"),
+        reg.get_gauge("traffic/inflight_payments"),
+        reg.get_histogram("traffic/payment_latency",
+                          {1e-3, 2e-3, 5e-3, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+                           1, 2, 5, 10, 100}),
+        reg.get_histogram("traffic/route_length",
+                          {1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32}),
+    };
+    return t;
+  }
+};
 
 // The event loop proper. Two ordered streams drive it: the internal event
 // queue and the workload's arrival stream, of which exactly one event is
@@ -55,10 +102,29 @@ class traffic_run {
     }
 
     metrics_.balance_resets = reset_.resets_applied();
+    flush_obs();
     return metrics_;
   }
 
  private:
+  /// One bulk counter flush from the run's deterministic ledger; the
+  /// ledger itself stays the scenario-facing result source.
+  void flush_obs() const {
+    if (!obs::enabled()) return;
+    const traffic_obs& t = traffic_obs::get();
+    t.attempt.add(metrics_.attempted);
+    t.deliver.add(metrics_.delivered);
+    t.fail_no_route.add(metrics_.failed_no_route);
+    t.fail_mid_flight.add(metrics_.failed_mid_flight);
+    t.timeout.add(metrics_.timed_out);
+    t.retry.add(metrics_.retries);
+    t.fail_lock.add(metrics_.lock_failures);
+    t.process_event.add(metrics_.events);
+    t.refresh_gossip.add(metrics_.gossip_refreshes);
+    t.reset_balance.add(metrics_.balance_resets);
+    t.reject_infeasible.add(metrics_.infeasible_input);
+  }
+
   payment_state& at(std::uint32_t slot) { return payments_[slot]; }
 
   /// The payment an event refers to, or null when the event is stale
@@ -119,6 +185,7 @@ class traffic_run {
     ++inflight_;
     metrics_.max_inflight_seen = std::max(metrics_.max_inflight_seen,
                                           static_cast<std::uint64_t>(inflight_));
+    if (obs::enabled()) traffic_obs::get().inflight.add(1);
     start_attempt(time, slot);
   }
 
@@ -131,6 +198,9 @@ class traffic_run {
       fail_attempt(time, slot, fail_reason::no_route);
       return;
     }
+    if (obs::enabled())
+      traffic_obs::get().route_length.record(
+          static_cast<double>(p.route.size()));
     p.phase = payment_phase::forwarding;
     const std::uint64_t ref = payment_ref(slot, p.generation);
     push({time, 0, event_kind::forward, ref, p.attempt, 0});
@@ -183,6 +253,8 @@ class traffic_run {
     }
     ++metrics_.delivered;
     metrics_.volume_delivered += p->amount;
+    if (obs::enabled())
+      traffic_obs::get().latency.record(ev.time - p->arrival_time);
     complete(ev.time, payment_slot(ev.payment));
   }
 
@@ -250,6 +322,7 @@ class traffic_run {
     p.excluded.clear();
     free_.push_back(slot);
     --inflight_;
+    if (obs::enabled()) traffic_obs::get().inflight.add(-1);
     if (!waiting_.empty() &&
         (config_.max_inflight == 0 || inflight_ < config_.max_inflight)) {
       const std::uint32_t next = waiting_.front();
@@ -303,6 +376,8 @@ traffic_metrics run_traffic(pcn::network& net,
   LCG_EXPECTS(config.hop_latency >= 0.0);
   LCG_EXPECTS(config.htlc_timeout >= 0.0);
   LCG_EXPECTS(config.gossip_refresh >= 0.0);
+  obs::span run_span("traffic/run");
+  run_span.attr("horizon", config.horizon);
   traffic_run run(net, workload, config);
   return run.run();
 }

@@ -10,6 +10,7 @@
 
 #include "graph/betweenness.h"
 #include "graph/generators.h"
+#include "obs/registry.h"
 #include "runner/registry.h"
 #include "runner/reporter.h"
 
@@ -246,6 +247,93 @@ TEST(Executor, ThreadBudgetIsForwardedAndBounded) {
     EXPECT_GE(budget, 1);
     EXPECT_LE(static_cast<std::size_t>(budget) * 2, std::max<std::size_t>(2, hardware));
   }
+}
+
+/// The deterministic identity of a recorded span: name plus attrs, with
+/// every timing/timestamp field dropped. Two runs of the same sweep must
+/// produce the same multiset of these whatever the worker count.
+std::vector<std::string> span_identities(
+    const std::vector<obs::span_record>& spans) {
+  std::vector<std::string> out;
+  out.reserve(spans.size());
+  for (const obs::span_record& s : spans) {
+    std::string line = s.name;
+    for (const auto& [k, v] : s.attrs) {
+      line += ' ';
+      line += k;
+      line += '=';
+      line += v;
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Runs `jobs` with observability on and returns (csv, span identities).
+std::pair<std::string, std::vector<std::string>> traced_run(
+    const std::vector<job>& jobs, std::size_t workers) {
+  obs::registry::global().reset();
+  obs::registry::global().enable(true);
+  run_options options;
+  options.jobs = workers;
+  const std::string csv = to_csv(run_jobs(jobs, options));
+  std::vector<std::string> ids =
+      span_identities(obs::registry::global().spans());
+  obs::registry::global().enable(false);
+  obs::registry::global().reset();
+  return {csv, std::move(ids)};
+}
+
+TEST(ExecutorObs, TracingNeverChangesResultBytes) {
+  // The out-of-band contract (DESIGN.md §11): enabling observability must
+  // not change a byte of result output.
+  const scenario sc = rng_scenario();
+  const std::vector<job> jobs = seeded_sweep(sc, 20, 2);
+
+  run_options options;
+  options.jobs = 4;
+  obs::registry::global().enable(false);
+  const std::string plain = to_csv(run_jobs(jobs, options));
+  const auto [traced, ids] = traced_run(jobs, 4);
+  EXPECT_EQ(plain, traced);
+  EXPECT_FALSE(ids.empty());
+}
+
+TEST(ExecutorObs, SpanSetIsInvariantAcrossWorkerCounts) {
+  const scenario sc = rng_scenario();
+  const std::vector<job> jobs = seeded_sweep(sc, 15, 2);
+
+  const auto [csv1, ids1] = traced_run(jobs, 1);
+  const auto [csv8, ids8] = traced_run(jobs, 8);
+  EXPECT_EQ(csv1, csv8);
+  // Same spans, same attrs — only timestamps/threads may differ, and those
+  // are excluded from the identity.
+  EXPECT_EQ(ids1, ids8);
+}
+
+TEST(ExecutorObs, EveryJobGetsExactlyOneSpan) {
+  const scenario sc = rng_scenario();
+  const std::vector<job> jobs = seeded_sweep(sc, 10, 1);
+
+  obs::registry::global().reset();
+  obs::registry::global().enable(true);
+  run_options options;
+  options.jobs = 4;
+  (void)run_jobs(jobs, options);
+  const std::vector<obs::span_record> spans = obs::registry::global().spans();
+  std::size_t job_spans = 0;
+  std::size_t sweep_spans = 0;
+  for (const obs::span_record& s : spans) {
+    if (s.name == "runner/job") ++job_spans;
+    if (s.name == "runner/sweep") ++sweep_spans;
+  }
+  EXPECT_EQ(job_spans, jobs.size());
+  EXPECT_EQ(sweep_spans, 1u);
+  EXPECT_EQ(obs::registry::global().get_counter("runner/run_job").value(),
+            jobs.size());
+  obs::registry::global().enable(false);
+  obs::registry::global().reset();
 }
 
 TEST(Reporter, CsvEscapesAndAlignsColumns) {
